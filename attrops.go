@@ -1,0 +1,70 @@
+package tdp
+
+import (
+	"context"
+)
+
+// This file implements the synchronous attribute space operations
+// (§3.2): tdp_put and tdp_get plus the convenience lookups built on
+// them. All default to the local space (LASS); the *Global variants
+// address the central space (CASS).
+
+// Put stores attribute = value in the local space. It blocks until the
+// value is visible to other participants (the paper's blocking
+// tdp_put).
+func (h *Handle) Put(attribute, value string) error {
+	h.traceStep("tdp_put", attribute+"="+value)
+	return h.lass.Put(attribute, value)
+}
+
+// Get blocks until the attribute exists in the local space and returns
+// its value (the paper's blocking tdp_get). Cancel through ctx.
+func (h *Handle) Get(ctx context.Context, attribute string) (string, error) {
+	h.traceStep("tdp_get", attribute)
+	return h.lass.Get(ctx, attribute)
+}
+
+// TryGet returns the attribute's current value without blocking, or
+// ErrNotFound.
+func (h *Handle) TryGet(attribute string) (string, error) {
+	return h.lass.TryGet(attribute)
+}
+
+// Delete removes an attribute from the local space.
+func (h *Handle) Delete(attribute string) error {
+	return h.lass.Delete(attribute)
+}
+
+// Snapshot copies every attribute in the local space's context.
+func (h *Handle) Snapshot() (map[string]string, error) {
+	return h.lass.Snapshot()
+}
+
+// PutGlobal stores attribute = value in the central space (CASS).
+func (h *Handle) PutGlobal(attribute, value string) error {
+	if h.cass == nil {
+		return ErrNoCASS
+	}
+	h.traceStep("tdp_put_global", attribute+"="+value)
+	return h.cass.Put(attribute, value)
+}
+
+// GetGlobal blocks until the attribute exists in the central space.
+func (h *Handle) GetGlobal(ctx context.Context, attribute string) (string, error) {
+	if h.cass == nil {
+		return "", ErrNoCASS
+	}
+	h.traceStep("tdp_get_global", attribute)
+	return h.cass.Get(ctx, attribute)
+}
+
+// TryGetGlobal is the non-blocking central space lookup.
+func (h *Handle) TryGetGlobal(attribute string) (string, error) {
+	if h.cass == nil {
+		return "", ErrNoCASS
+	}
+	return h.cass.TryGet(attribute)
+}
+
+// HasGlobal reports whether this handle is connected to a CASS.
+func (h *Handle) HasGlobal() bool { return h.cass != nil }

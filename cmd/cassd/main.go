@@ -1,0 +1,41 @@
+// Command cassd runs the Central Attribute Space Server (CASS): the
+// attribute server that lives on the host running the tool front-end
+// (TDP §2.1, Figure 2). It is the same server as lassd — the paper's
+// LASS/CASS distinction is placement, not implementation — but is
+// provided as its own command so deployments read naturally.
+//
+// Usage:
+//
+//	cassd [-addr host:port] [-v]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"tdp/internal/attrspace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4500", "listen address")
+	verbose := flag.Bool("v", false, "log connection errors")
+	flag.Parse()
+
+	srv := attrspace.NewServer()
+	if *verbose {
+		srv.SetLogf(log.Printf)
+	}
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("cassd: %v", err)
+	}
+	log.Printf("cassd: serving central attribute space on %s", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("cassd: shutting down")
+	srv.Close()
+}

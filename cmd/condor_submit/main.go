@@ -1,0 +1,117 @@
+// Command condor_submit parses and validates a Condor submit
+// description file, including the TDP extensions of the paper's §4.3
+// (+SuspendJobAtExec and the ToolDaemon* entries, Figure 5B), and
+// prints the resulting job description. With -run it boots an
+// in-process pool and actually executes the job against the built-in
+// demo executables (see cmd/condor_pool for the full runner).
+//
+// Usage:
+//
+//	condor_submit [-run] job.submit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tdp/internal/condor"
+	"tdp/internal/paradyn"
+	"tdp/internal/procsim"
+	"tdp/internal/tools"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the job on an in-process pool")
+	machines := flag.Int("machines", 4, "pool size when -run is given")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: condor_submit [-run] job.submit")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("condor_submit: %v", err)
+	}
+	sf, err := condor.ParseSubmit(string(src))
+	if err != nil {
+		log.Fatalf("condor_submit: %v", err)
+	}
+	describe(sf)
+	if !*run {
+		return
+	}
+
+	pool := condor.NewPool(condor.PoolOptions{NegotiationTimeout: 10 * time.Second})
+	defer pool.Close()
+	for i := 0; i < *machines; i++ {
+		if _, err := pool.AddMachine(condor.MachineConfig{
+			Name: fmt.Sprintf("node%d", i+1), Arch: "INTEL", OpSys: "LINUX", Memory: 256,
+		}); err != nil {
+			log.Fatalf("condor_submit: %v", err)
+		}
+	}
+	registerDemoPrograms(pool.Registry())
+
+	jobs, err := pool.SubmitParsed(sf)
+	if err != nil {
+		log.Fatalf("condor_submit: %v", err)
+	}
+	for _, j := range jobs {
+		st, err := j.WaitExit(2 * time.Minute)
+		if err != nil {
+			log.Printf("job %d: %v", j.ID, err)
+			continue
+		}
+		fmt.Printf("job %d on %s: %s\n", j.ID, j.Machine(), st)
+		if out := j.Output(); out != "" {
+			fmt.Printf("--- output ---\n%s", out)
+		}
+		if tout := j.ToolOutput(); tout != "" {
+			fmt.Printf("--- tool output ---\n%s", tout)
+		}
+	}
+}
+
+func describe(sf *condor.SubmitFile) {
+	fmt.Printf("universe:     %s\n", sf.Universe)
+	fmt.Printf("executable:   %s\n", sf.Executable)
+	if len(sf.Arguments) > 0 {
+		fmt.Printf("arguments:    %s\n", strings.Join(sf.Arguments, " "))
+	}
+	if sf.Universe == condor.UniverseMPI {
+		fmt.Printf("machines:     %d\n", sf.MachineCount)
+	}
+	fmt.Printf("queue:        %d job(s)\n", sf.Queue)
+	if sf.SuspendJobAtExec {
+		fmt.Println("tdp:          job will be created suspended at exec")
+	}
+	if td := sf.ToolDaemon; td != nil {
+		fmt.Printf("tool daemon:  %s %s\n", td.Cmd, strings.Join(td.Args, " "))
+		if td.Output != "" {
+			fmt.Printf("tool output:  %s\n", td.Output)
+		}
+	}
+}
+
+// registerDemoPrograms installs the executables and tools available to
+// -run jobs.
+func registerDemoPrograms(reg *condor.Registry) {
+	reg.RegisterProgram("science", func(args []string) (procsim.Program, []string) {
+		phases, prog := procsim.DefaultScienceApp(50)
+		return prog, procsim.PhasedSymbols(phases)
+	})
+	reg.RegisterProgram("foo", func(args []string) (procsim.Program, []string) {
+		phases, prog := procsim.DefaultScienceApp(20)
+		return prog, procsim.PhasedSymbols(phases)
+	})
+	reg.RegisterProgram("sleep", func(args []string) (procsim.Program, []string) {
+		return procsim.NewSleeperProgram(200 * time.Millisecond), procsim.StdSymbols
+	})
+	reg.RegisterTool("paradynd", paradyn.Tool())
+	reg.RegisterTool("tracer", tools.Tracer())
+	reg.RegisterTool("debugger", tools.Debugger())
+}

@@ -1,0 +1,40 @@
+// Command lassd runs a Local Attribute Space Server (LASS): the
+// per-execution-host attribute server of TDP §2.1. Resource manager
+// and tool daemons on the host connect to it with tdp.Init.
+//
+// Usage:
+//
+//	lassd [-addr host:port] [-v]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"tdp/internal/attrspace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4510", "listen address")
+	verbose := flag.Bool("v", false, "log connection errors")
+	flag.Parse()
+
+	srv := attrspace.NewServer()
+	if *verbose {
+		srv.SetLogf(log.Printf)
+	}
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("lassd: %v", err)
+	}
+	log.Printf("lassd: serving attribute space on %s", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	puts, gets, tryGets, deletes := srv.Stats()
+	log.Printf("lassd: shutting down (puts=%d gets=%d trygets=%d deletes=%d)", puts, gets, tryGets, deletes)
+	srv.Close()
+}

@@ -1,0 +1,127 @@
+package tdp_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"tdp"
+	"tdp/internal/procsim"
+)
+
+// Example shows the complete create-mode handshake of the paper's
+// Figure 3A: the resource manager creates the application paused and
+// publishes its pid; the tool fetches the pid, attaches, instruments,
+// and continues.
+func Example() {
+	lass, lassAddr, err := tdp.ServeLASS("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lass.Close()
+	kernel := procsim.NewKernel()
+
+	// Resource manager side.
+	rm, err := tdp.Init(tdp.Config{Context: "job", LASSAddr: lassAddr, Kernel: kernel, Identity: "RM"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rm.Exit()
+	phases := []procsim.PhaseSpec{{Name: "work", Units: 1}}
+	app, err := rm.CreateProcess(tdp.ProcessSpec{
+		Executable: "app",
+		Program:    procsim.NewPhasedProgram(3, phases),
+		Symbols:    procsim.PhasedSymbols(phases),
+	}, tdp.StartPaused)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rm.PublishPID(app)
+
+	// Run-time tool side.
+	rt, err := tdp.Init(tdp.Config{Context: "job", LASSAddr: lassAddr, Kernel: kernel, Identity: "RT"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Exit()
+	pid, _ := rt.GetPID(context.Background())
+	target, _ := rt.Attach(pid)
+	calls := 0
+	target.InsertProbe("work", func(*procsim.ProcContext) { calls++ }, nil)
+	target.Continue()
+	status, _ := target.Wait()
+
+	fmt.Printf("status=%s probe-calls=%d\n", status, calls)
+	// Output: status=exit(0) probe-calls=3
+}
+
+// ExampleHandle_AsyncGet shows the §3.3 event-notification model: two
+// asynchronous gets whose callbacks run only inside ServiceEvents, at
+// a safe point of the daemon's own loop.
+func ExampleHandle_AsyncGet() {
+	lass, lassAddr, err := tdp.ServeLASS("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lass.Close()
+
+	h, err := tdp.Init(tdp.Config{Context: "job", LASSAddr: lassAddr, Identity: "tool"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Exit()
+
+	done := make(chan struct{})
+	h.AsyncGet(tdp.AttrPID, func(r tdp.Result, arg any) {
+		fmt.Printf("%s=%s (%v)\n", r.Attr, r.Value, arg)
+		close(done)
+	}, "my-arg")
+
+	h.Put(tdp.AttrPID, "1234") // normally the RM's side
+
+	// The daemon's poll loop: wait for descriptor activity, then
+	// service callbacks at a known-safe point.
+	for {
+		select {
+		case <-h.Activity():
+			h.ServiceEvents()
+		case <-done:
+			return
+		}
+	}
+	// Output: pid=1234 (my-arg)
+}
+
+// ExampleHandle_WaitStatus shows the §2.3 monitoring division: the RM
+// publishes status transitions; the tool observes them through the
+// attribute space instead of racing the OS for the exit code.
+func ExampleHandle_WaitStatus() {
+	lass, lassAddr, err := tdp.ServeLASS("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lass.Close()
+	kernel := procsim.NewKernel()
+
+	rm, err := tdp.Init(tdp.Config{Context: "job", LASSAddr: lassAddr, Kernel: kernel, Identity: "RM"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rm.Exit()
+	app, _ := rm.CreateProcess(tdp.ProcessSpec{
+		Executable: "app", Program: procsim.NewExitingProgram(7), Symbols: procsim.StdSymbols,
+	}, tdp.StartPaused)
+	stop, _ := rm.MonitorProcess(app)
+	defer stop()
+
+	rt, err := tdp.Init(tdp.Config{Context: "job", LASSAddr: lassAddr, Identity: "RT"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Exit()
+
+	app.Continue()
+	status, _ := rt.WaitStatus(context.Background(), "exited:")
+	fmt.Println(status)
+	// Output: exited:exit(7)
+}

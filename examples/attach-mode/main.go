@@ -1,0 +1,94 @@
+// Attach mode (Figure 3B of the paper): the application is already
+// running under the resource manager — think of a long-running server
+// or a job that starts misbehaving hours in — and the user decides,
+// later, to point a tool at it. The RM launches a paradynd with an
+// explicit pid ("-a<pid>"); the daemon attaches, which pauses the
+// process at an unknown point in its execution, instruments it,
+// resumes it, and profiles from there on.
+//
+// Run with:
+//
+//	go run ./examples/attach-mode
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"tdp"
+	"tdp/internal/paradyn"
+	"tdp/internal/procsim"
+	"tdp/internal/toolapi"
+)
+
+func main() {
+	lass, lassAddr, err := tdp.ServeLASS("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lass.Close()
+	kernel := procsim.NewKernel()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe, err := paradyn.NewFrontEnd(paradyn.FrontEndConfig{Listener: l, AutoRun: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fe.Close()
+	host, port, _ := net.SplitHostPort(fe.Addr())
+
+	// The RM starts the application normally — no tool in sight.
+	rm, err := tdp.Init(tdp.Config{
+		Context: "attach-demo", LASSAddr: lassAddr, Kernel: kernel, Identity: "RM",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rm.Exit()
+
+	phases, prog := procsim.DefaultScienceApp(3000)
+	app, err := rm.CreateProcess(tdp.ProcessSpec{
+		Executable: "science", Program: prog, Symbols: procsim.PhasedSymbols(phases),
+	}, tdp.StartRun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application running: pid=%d\n", app.PID())
+
+	// ... time passes; the application has been running a while ...
+	time.Sleep(30 * time.Millisecond)
+
+	// Now the user asks for a profile. The RM launches paradynd with
+	// the pid on its command line — attach mode.
+	env := toolapi.Env{
+		Machine: "localhost", Kernel: kernel, LASSAddr: lassAddr, Context: "attach-demo",
+	}
+	args := []string{"-m" + host, "-p" + port, "-a" + tdp.FormatPID(app.PID())}
+	daemon, err := rm.CreateProcess(tdp.ProcessSpec{
+		Executable: "paradynd", Args: args, Program: paradyn.Tool()(env, args),
+	}, tdp.StartRun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paradynd launched mid-run with %v\n", args)
+
+	status, err := app.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	daemon.Wait()
+	if err := fe.WaitDone(1, time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\napplication finished %s; profile from attach point onward:\n\n", status)
+	fmt.Print(fe.Report())
+	if fn, share, ok := fe.Bottleneck(); ok {
+		fmt.Printf("\nbottleneck (partial run): %s (%.0f%%)\n", fn, share*100)
+	}
+}

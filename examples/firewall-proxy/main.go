@@ -1,0 +1,100 @@
+// Firewall/proxy (Figure 1 and §2.4 of the paper): the application
+// runs on a private cluster node; the tool front-end is on the user's
+// desktop outside. Direct connections are blocked by the firewall, so
+// TDP hands the daemon the address of the resource manager's proxy on
+// the gateway, which forwards the tool traffic.
+//
+// Run with:
+//
+//	go run ./examples/firewall-proxy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tdp/internal/condor"
+	"tdp/internal/netsim"
+	"tdp/internal/paradyn"
+	"tdp/internal/procsim"
+	"tdp/internal/proxy"
+)
+
+func main() {
+	// The Figure-1 network: desktop | firewall+gateway | private node.
+	nw := netsim.New()
+	desktop := nw.AddHost("desktop")
+	gateway := nw.AddHost("gateway")
+	node := nw.AddHost("node1")
+	nw.AddRule(netsim.BlockInbound("node1", "gateway"))
+	nw.AddRule(netsim.BlockOutbound("node1", "gateway"))
+	nw.AddRule(netsim.BlockInbound("desktop", "gateway"))
+
+	// Paradyn front-end on the desktop.
+	feListener, err := desktop.Listen(2090)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe, err := paradyn.NewFrontEnd(paradyn.FrontEndConfig{Listener: feListener, AutoRun: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fe.Close()
+
+	// Show the firewall doing its job.
+	if _, err := node.Dial("desktop:2090"); err != nil {
+		fmt.Printf("node1 -> desktop direct: %v\n", err)
+	}
+
+	// The RM's proxy on the gateway forwards to the front-end.
+	fw := proxy.NewForwarder(gateway.Dial, "desktop:2090")
+	fwListener, err := gateway.Listen(7000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go fw.Serve(fwListener)
+	defer fw.Close()
+	fmt.Println("RM proxy on gateway:7000 -> desktop:2090")
+
+	// Condor pool on the private node; the submit file publishes the
+	// PROXY address as the front-end address (the §2.4 rule: "the
+	// host/port number will be that of the RM's proxy").
+	pool := condor.NewPool(condor.PoolOptions{NegotiationTimeout: 10 * time.Second})
+	defer pool.Close()
+	if _, err := pool.AddMachine(condor.MachineConfig{
+		Name: "node1", Arch: "INTEL", OpSys: "LINUX", Memory: 256, NetHost: node,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	pool.Registry().RegisterTool("paradynd", paradyn.Tool())
+	pool.Registry().RegisterProgram("science", func(args []string) (procsim.Program, []string) {
+		phases, prog := procsim.DefaultScienceApp(60)
+		return prog, procsim.PhasedSymbols(phases)
+	})
+
+	jobs, err := pool.Submit(`executable = science
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-a%pid"
++FrontendAddr = "gateway:7000"
+queue
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := jobs[0].WaitExit(2 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fe.WaitDone(1, time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\njob finished %s; profile crossed the firewall via the proxy:\n\n", status)
+	fmt.Print(fe.Report())
+	tunnels, bytes := fw.Stats()
+	dials, blocked := nw.Stats()
+	fmt.Printf("\nproxy relayed %d bytes over %d tunnel(s); firewall blocked %d of %d dials\n",
+		bytes, tunnels, blocked, dials+blocked)
+}

@@ -1,0 +1,81 @@
+// Parador, MPI universe: the paper's second demonstrated
+// configuration (§4.3). An MPI job is allocated machine_count
+// machines; the rank-0 "master process" is created (paused) first and
+// its paradynd attaches; only after that tool is in control are the
+// remaining ranks created, each with its own paradynd. The front-end
+// merges profiles from every rank.
+//
+// Run with:
+//
+//	go run ./examples/parador-mpi
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"tdp/internal/condor"
+	"tdp/internal/mpisim"
+	"tdp/internal/paradyn"
+	"tdp/internal/procsim"
+)
+
+const ranks = 3
+
+func main() {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe, err := paradyn.NewFrontEnd(paradyn.FrontEndConfig{Listener: l, AutoRun: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fe.Close()
+	host, port, _ := net.SplitHostPort(fe.Addr())
+
+	pool := condor.NewPool(condor.PoolOptions{NegotiationTimeout: 10 * time.Second})
+	defer pool.Close()
+	for i := 0; i < ranks; i++ {
+		if _, err := pool.AddMachine(condor.MachineConfig{
+			Name: fmt.Sprintf("node%d", i+1), Arch: "INTEL", OpSys: "LINUX", Memory: 256,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pool.Registry().RegisterTool("paradynd", paradyn.Tool())
+	// The MPI payload: the token-ring program from the mpisim package.
+	pool.Registry().RegisterProgram("ring", func(args []string) (procsim.Program, []string) {
+		return mpisim.NewRingProgram(), mpisim.RingSymbols
+	})
+
+	submit := fmt.Sprintf(`universe = MPI
+executable = ring
+machine_count = %d
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-m%s -p%s -a%%pid"
++ToolDaemonOutput = "daemon.out"
+queue
+`, ranks, host, port)
+
+	jobs, err := pool.Submit(submit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := jobs[0].WaitExit(2 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fe.WaitDone(ranks, time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MPI job finished %s across %v\n", status, jobs[0].Machines())
+	fmt.Printf("(ring token made %d hops across %d ranks)\n\n", status.Code, ranks)
+	fmt.Printf("daemons: %v\n\n", fe.Daemons())
+	fmt.Println("merged profile across all ranks:")
+	fmt.Print(fe.Report())
+}

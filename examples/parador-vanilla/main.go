@@ -1,0 +1,99 @@
+// Parador, Vanilla universe: the paper's §4.3 pilot experiment.
+//
+// The Paradyn front-end starts first and publishes its port (as in the
+// paper's tests, where "-p2090 -P2091" were written into the submit
+// file by hand). Condor then runs a compute job whose submit file
+// carries the TDP directives of Figure 5B: the starter creates the
+// application suspended at exec, launches paradynd, and puts the pid
+// into the machine's LASS; paradynd gets the pid, attaches,
+// instruments every function, reports to the front-end, and continues
+// the application. At the end the front-end's simplified Performance
+// Consultant names the planted bottleneck (compute_forces, ~70% of
+// the work).
+//
+// Run with:
+//
+//	go run ./examples/parador-vanilla
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"tdp/internal/condor"
+	"tdp/internal/paradyn"
+	"tdp/internal/procsim"
+)
+
+func main() {
+	// 1. Paradyn front-end.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe, err := paradyn.NewFrontEnd(paradyn.FrontEndConfig{Listener: l, AutoRun: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fe.Close()
+	host, port, _ := net.SplitHostPort(fe.Addr())
+	fmt.Printf("paradyn front-end on %s\n", fe.Addr())
+
+	// 2. A one-machine Condor pool with paradynd and the science app
+	//    installed.
+	pool := condor.NewPool(condor.PoolOptions{NegotiationTimeout: 10 * time.Second})
+	defer pool.Close()
+	if _, err := pool.AddMachine(condor.MachineConfig{
+		Name: "pinguino", Arch: "INTEL", OpSys: "LINUX", Memory: 256,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	pool.Registry().RegisterTool("paradynd", paradyn.Tool())
+	pool.Registry().RegisterProgram("science", func(args []string) (procsim.Program, []string) {
+		phases, prog := procsim.DefaultScienceApp(100)
+		return prog, procsim.PhasedSymbols(phases)
+	})
+
+	// 3. The Figure-5B submit file (ports filled in, as the paper did).
+	submit := fmt.Sprintf(`universe = Vanilla
+executable = science
+output = outfile
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-zunix -l3 -m%s -p%s -a%%pid"
++ToolDaemonOutput = "daemon.out"
++ToolDaemonError = "daemon.err"
+queue
+`, host, port)
+
+	jobs, err := pool.Submit(submit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := jobs[0].WaitExit(2 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fe.WaitDone(1, time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. What the user sees in the Paradyn UI.
+	fmt.Printf("\njob %d finished %s on %s\n\n", jobs[0].ID, status, jobs[0].Machine())
+	fmt.Print(fe.Report())
+	if fn, share, ok := fe.Bottleneck(); ok {
+		fmt.Printf("\nPerformance Consultant: %s is the bottleneck (%.0f%% of non-main time)\n", fn, share*100)
+	}
+
+	// 5. The tool's own output file was transferred back to the submit
+	//    machine, per the paper's data-file management interface.
+	if data, ok := pool.SubmitFiles().Read("daemon.out"); ok {
+		fmt.Printf("\ndaemon.out (%d bytes) begins:\n", len(data))
+		if len(data) > 200 {
+			data = data[:200]
+		}
+		fmt.Printf("%s...\n", data)
+	}
+}

@@ -1,0 +1,104 @@
+// Quickstart: the smallest complete TDP interaction, straight from
+// Figure 3A of the paper.
+//
+// A resource manager (RM) creates an application process suspended at
+// exec and publishes its pid in the attribute space. A run-time tool
+// (RT) — here just a few lines of code — blocks on the pid, attaches,
+// inserts a probe before the application has executed a single
+// instruction of main, and continues it. The probe therefore observes
+// every call, which is the whole point of the create-paused handshake.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"tdp"
+	"tdp/internal/procsim"
+)
+
+func main() {
+	// Every execution host runs a LASS; here one on loopback.
+	lass, lassAddr, err := tdp.ServeLASS("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lass.Close()
+
+	// One simulated machine ("the OS") shared by RM, RT, and AP.
+	kernel := procsim.NewKernel()
+
+	// --- the resource manager -------------------------------------------
+	rm, err := tdp.Init(tdp.Config{
+		Context:  "quickstart-job",
+		LASSAddr: lassAddr,
+		Kernel:   kernel,
+		Identity: "RM",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rm.Exit()
+
+	// Create the application, but do not start it (tdp_create_process
+	// with the paused option).
+	phases := []procsim.PhaseSpec{{Name: "work", Units: 10}}
+	app, err := rm.CreateProcess(tdp.ProcessSpec{
+		Executable: "demo-app",
+		Program:    procsim.NewPhasedProgram(5, phases),
+		Symbols:    procsim.PhasedSymbols(phases),
+	}, tdp.StartPaused)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RM: created %s pid=%d state=%s\n", app.Executable(), app.PID(), app.State())
+
+	// Tell the tool where the application is (tdp_put of "pid").
+	if err := rm.PublishPID(app); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- the run-time tool ------------------------------------------------
+	rt, err := tdp.Init(tdp.Config{
+		Context:  "quickstart-job",
+		LASSAddr: lassAddr,
+		Kernel:   kernel,
+		Identity: "RT",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Exit()
+
+	// Blocking tdp_get of the pid, then tdp_attach.
+	pid, err := rt.GetPID(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := rt.Attach(pid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RT: attached to pid=%d, symbols=%v\n", pid, target.Symbols())
+
+	// Instrument before main runs.
+	calls := 0
+	if _, err := target.InsertProbe("work", func(*procsim.ProcContext) { calls++ }, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// tdp_continue_process: off it goes.
+	if err := target.Continue(); err != nil {
+		log.Fatal(err)
+	}
+	status, err := target.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RT: application finished %s; probe saw %d/5 work() calls\n", status, calls)
+}

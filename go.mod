@@ -1,0 +1,3 @@
+module tdp
+
+go 1.22

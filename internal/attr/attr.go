@@ -1,0 +1,416 @@
+// Package attr implements the TDP attribute space: a set of named
+// contexts, each holding (attribute, value) string pairs, with
+// blocking get, asynchronous change notification, and reference-counted
+// context lifetime.
+//
+// The paper (§2.1, §3.2) specifies that information in the shared
+// space is kept as (attribute, value) pairs where both sides are
+// NUL-free strings, that tdp_get blocks until the attribute appears,
+// that a resource manager may hold a separate space (a "context") per
+// tool, and that a context shared between a resource manager and
+// several tools is destroyed when the last participant calls tdp_exit.
+// This package is the in-memory engine behind both the LASS and CASS
+// servers (package attrspace) and the in-process fast path used by the
+// public tdp package.
+package attr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrNoContext is returned when an operation references a context that
+// does not exist (never joined, or already destroyed).
+var ErrNoContext = errors.New("attr: no such context")
+
+// ErrClosed is returned when operating on a reference after Leave.
+var ErrClosed = errors.New("attr: reference already released")
+
+// ErrNotFound is returned by non-blocking lookups for absent attributes.
+var ErrNotFound = errors.New("attr: attribute not found")
+
+// Op describes what happened to an attribute in an Update.
+type Op int
+
+const (
+	// OpPut records an insert or overwrite of an attribute.
+	OpPut Op = iota
+	// OpDelete records removal of an attribute.
+	OpDelete
+	// OpDestroy records destruction of the whole context (last leave).
+	OpDestroy
+)
+
+// String returns the mnemonic used in traces and logs.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpDestroy:
+		return "destroy"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Update is delivered to subscribers when a context changes.
+type Update struct {
+	Context string // context name
+	Attr    string // attribute name; empty for OpDestroy
+	Value   string // new value for OpPut; previous value for OpDelete
+	Op      Op
+	Seq     uint64 // per-context modification sequence number
+}
+
+// spaceContext is one named attribute space.
+type spaceContext struct {
+	name    string
+	refs    int
+	attrs   map[string]string
+	seq     uint64
+	waiters map[string][]chan string // blocked Gets per attribute
+	subs    map[*Subscription]struct{}
+}
+
+// Space holds every context. A single Space instance backs one
+// attribute space server (one LASS or the CASS).
+type Space struct {
+	mu       sync.Mutex
+	contexts map[string]*spaceContext
+}
+
+// NewSpace returns an empty attribute space.
+func NewSpace() *Space {
+	return &Space{contexts: make(map[string]*spaceContext)}
+}
+
+// Join enters the named context, creating it if needed, and returns a
+// reference. Each successful Join must be balanced by Leave; the
+// context and all its attributes are destroyed when the last reference
+// leaves, mirroring tdp_exit semantics.
+func (s *Space) Join(name string) *Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.contexts[name]
+	if c == nil {
+		c = &spaceContext{
+			name:    name,
+			attrs:   make(map[string]string),
+			waiters: make(map[string][]chan string),
+			subs:    make(map[*Subscription]struct{}),
+		}
+		s.contexts[name] = c
+	}
+	c.refs++
+	return &Ref{space: s, ctx: c}
+}
+
+// Contexts returns the names of live contexts, sorted.
+func (s *Space) Contexts() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.contexts))
+	for n := range s.contexts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Refs reports the current reference count of a context, or 0 when the
+// context does not exist.
+func (s *Space) Refs(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.contexts[name]; c != nil {
+		return c.refs
+	}
+	return 0
+}
+
+// Ref is one participant's handle on a context. It is safe for
+// concurrent use by multiple goroutines.
+type Ref struct {
+	space *Space
+	mu    sync.Mutex
+	ctx   *spaceContext // nil after Leave
+}
+
+// Context returns the context name, or "" after Leave.
+func (r *Ref) Context() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ctx == nil {
+		return ""
+	}
+	return r.ctx.name
+}
+
+func (r *Ref) live() (*spaceContext, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ctx == nil {
+		return nil, ErrClosed
+	}
+	return r.ctx, nil
+}
+
+// Put stores attribute = value, waking any blocked Gets and notifying
+// subscribers. Matching the paper's blocking tdp_put, Put returns only
+// once the value is visible in the space.
+func (r *Ref) Put(attribute, value string) error {
+	c, err := r.live()
+	if err != nil {
+		return err
+	}
+	s := r.space
+	s.mu.Lock()
+	c.seq++
+	c.attrs[attribute] = value
+	u := Update{Context: c.name, Attr: attribute, Value: value, Op: OpPut, Seq: c.seq}
+	waiters := c.waiters[attribute]
+	delete(c.waiters, attribute)
+	subs := subscribers(c)
+	s.mu.Unlock()
+
+	for _, w := range waiters {
+		w <- value // buffered, never blocks
+	}
+	for _, sub := range subs {
+		sub.deliver(u)
+	}
+	return nil
+}
+
+// TryGet returns the current value without blocking. It returns
+// ErrNotFound when the attribute is absent.
+func (r *Ref) TryGet(attribute string) (string, error) {
+	c, err := r.live()
+	if err != nil {
+		return "", err
+	}
+	r.space.mu.Lock()
+	defer r.space.mu.Unlock()
+	v, ok := c.attrs[attribute]
+	if !ok {
+		return "", ErrNotFound
+	}
+	return v, nil
+}
+
+// Get blocks until the attribute is present (or ctx is done) and
+// returns its value. This is the paper's blocking tdp_get: paradynd
+// blocks on "pid" until the starter puts it.
+func (r *Ref) Get(ctx context.Context, attribute string) (string, error) {
+	c, err := r.live()
+	if err != nil {
+		return "", err
+	}
+	s := r.space
+	s.mu.Lock()
+	if v, ok := c.attrs[attribute]; ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	wait := make(chan string, 1)
+	c.waiters[attribute] = append(c.waiters[attribute], wait)
+	s.mu.Unlock()
+
+	select {
+	case v := <-wait:
+		return v, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		// Remove our waiter unless Put already consumed it.
+		ws := c.waiters[attribute]
+		for i, w := range ws {
+			if w == wait {
+				c.waiters[attribute] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(c.waiters[attribute]) == 0 {
+			delete(c.waiters, attribute)
+		}
+		s.mu.Unlock()
+		// A Put may have raced with cancellation; prefer the value.
+		select {
+		case v := <-wait:
+			return v, nil
+		default:
+		}
+		return "", ctx.Err()
+	}
+}
+
+// Delete removes an attribute. Deleting an absent attribute is a no-op.
+func (r *Ref) Delete(attribute string) error {
+	c, err := r.live()
+	if err != nil {
+		return err
+	}
+	s := r.space
+	s.mu.Lock()
+	prev, ok := c.attrs[attribute]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	c.seq++
+	delete(c.attrs, attribute)
+	u := Update{Context: c.name, Attr: attribute, Value: prev, Op: OpDelete, Seq: c.seq}
+	subs := subscribers(c)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.deliver(u)
+	}
+	return nil
+}
+
+// Snapshot returns a copy of every attribute in the context.
+func (r *Ref) Snapshot() (map[string]string, error) {
+	c, err := r.live()
+	if err != nil {
+		return nil, err
+	}
+	r.space.mu.Lock()
+	defer r.space.mu.Unlock()
+	out := make(map[string]string, len(c.attrs))
+	for k, v := range c.attrs {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Len reports the number of attributes in the context.
+func (r *Ref) Len() (int, error) {
+	c, err := r.live()
+	if err != nil {
+		return 0, err
+	}
+	r.space.mu.Lock()
+	defer r.space.mu.Unlock()
+	return len(c.attrs), nil
+}
+
+// Leave releases the reference. When the last participant leaves, the
+// context is destroyed: attributes are dropped, blocked Gets fail
+// closed (their channels are abandoned but their contexts will cancel
+// them), and subscribers receive a final OpDestroy update and are
+// closed. Leave is idempotent per reference.
+func (r *Ref) Leave() error {
+	r.mu.Lock()
+	c := r.ctx
+	r.ctx = nil
+	r.mu.Unlock()
+	if c == nil {
+		return ErrClosed
+	}
+	s := r.space
+	s.mu.Lock()
+	c.refs--
+	if c.refs > 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	delete(s.contexts, c.name)
+	c.seq++
+	u := Update{Context: c.name, Op: OpDestroy, Seq: c.seq}
+	subs := subscribers(c)
+	c.subs = make(map[*Subscription]struct{})
+	c.waiters = make(map[string][]chan string)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.deliver(u)
+		sub.close()
+	}
+	return nil
+}
+
+// Subscription delivers Updates for a context. Updates are buffered;
+// a subscriber that falls behind beyond its buffer loses the oldest
+// undelivered update rather than blocking publishers (size the buffer
+// for the expected burst — attribute traffic in TDP is low-rate
+// configuration exchange).
+type Subscription struct {
+	mu     sync.Mutex
+	ch     chan Update
+	closed bool
+}
+
+// Updates returns the channel on which updates arrive. The channel is
+// closed when the subscription is cancelled or the context destroyed.
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+func (s *Subscription) deliver(u Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.ch <- u:
+			return
+		default:
+			// Buffer full: drop the oldest update to stay live.
+			select {
+			case <-s.ch:
+			default:
+			}
+		}
+	}
+}
+
+func (s *Subscription) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.ch)
+}
+
+// Subscribe registers for all subsequent updates in the context. The
+// buffer argument sizes the delivery channel (minimum 1).
+func (r *Ref) Subscribe(buffer int) (*Subscription, error) {
+	c, err := r.live()
+	if err != nil {
+		return nil, err
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscription{ch: make(chan Update, buffer)}
+	r.space.mu.Lock()
+	c.subs[sub] = struct{}{}
+	r.space.mu.Unlock()
+	return sub, nil
+}
+
+// Unsubscribe cancels a subscription and closes its channel.
+func (r *Ref) Unsubscribe(sub *Subscription) {
+	r.mu.Lock()
+	c := r.ctx
+	r.mu.Unlock()
+	if c != nil {
+		r.space.mu.Lock()
+		delete(c.subs, sub)
+		r.space.mu.Unlock()
+	}
+	sub.close()
+}
+
+func subscribers(c *spaceContext) []*Subscription {
+	out := make([]*Subscription, 0, len(c.subs))
+	for s := range c.subs {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package attrspace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"tdp/internal/attr"
+	"tdp/internal/wire"
+)
+
+// ErrNotFound mirrors attr.ErrNotFound on the client side.
+var ErrNotFound = attr.ErrNotFound
+
+// ErrClientClosed is returned for operations on a closed client.
+var ErrClientClosed = errors.New("attrspace: client closed")
+
+// DialFunc opens a stream to an attribute space server. Real TCP uses
+// net.Dial("tcp", addr); the simulated network uses (*netsim.Host).Dial.
+type DialFunc func(addr string) (net.Conn, error)
+
+// TCPDial is the default DialFunc over the real loopback network.
+func TCPDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Event is a pushed attribute change received after Subscribe.
+type Event struct {
+	Attr  string
+	Value string
+	Op    string // "put", "delete", or "destroy"
+	Seq   uint64
+}
+
+// Client is a connection to a LASS or CASS, joined to one context.
+// It is safe for concurrent use; any number of blocking Gets may be
+// outstanding simultaneously.
+type Client struct {
+	wc  *wire.Conn
+	raw net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[string]chan *wire.Message
+	closed  bool
+	err     error
+
+	events chan Event
+	subbed bool
+}
+
+// Dial connects to the server at addr using dial and joins the named
+// context. Every Dial must be balanced by Close, which performs the
+// tdp_exit half of the context's reference counting.
+func Dial(dial DialFunc, addr, contextName string) (*Client, error) {
+	if dial == nil {
+		dial = TCPDial
+	}
+	raw, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("attrspace: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		wc:      wire.NewConn(raw),
+		raw:     raw,
+		pending: make(map[string]chan *wire.Message),
+		events:  make(chan Event, 64),
+	}
+	go c.readLoop()
+	reply, err := c.call(context.Background(), wire.NewMessage("HELLO").Set("context", contextName))
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("attrspace: hello: %w", err)
+	}
+	if reply.Verb != "OK" {
+		c.Close()
+		return nil, fmt.Errorf("attrspace: hello rejected: %s", reply.Get("error"))
+	}
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		m, err := c.wc.Recv()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if m.Verb == "EVENT" {
+			seq, _ := strconv.ParseUint(m.Get("seq"), 10, 64)
+			ev := Event{Attr: m.Get("attr"), Value: m.Get("value"), Op: m.Get("op"), Seq: seq}
+			select {
+			case c.events <- ev:
+			default:
+				// The event buffer is full; drop-oldest keeps the
+				// connection from deadlocking against a slow consumer.
+				select {
+				case <-c.events:
+				default:
+				}
+				select {
+				case c.events <- ev:
+				default:
+				}
+			}
+			continue
+		}
+		id := m.Get("id")
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pending := c.pending
+	c.pending = make(map[string]chan *wire.Message)
+	c.mu.Unlock()
+	for id, ch := range pending {
+		ch <- wire.NewMessage("ERROR").Set("id", id).Set("error", err.Error())
+	}
+	close(c.events)
+	c.raw.Close()
+}
+
+// call sends a request and waits for its tagged reply.
+func (c *Client) call(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	ch, id, err := c.send(m)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// send registers a pending reply slot and transmits the request.
+func (c *Client) send(m *wire.Message) (chan *wire.Message, string, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, "", err
+	}
+	c.nextID++
+	id := strconv.FormatUint(c.nextID, 10)
+	ch := make(chan *wire.Message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+	m.Set("id", id)
+	if err := c.wc.Send(m); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, "", err
+	}
+	return ch, id, nil
+}
+
+func replyErr(reply *wire.Message) error {
+	if reply.Verb == "ERROR" {
+		text := reply.Get("error")
+		if text == attr.ErrNotFound.Error() {
+			return ErrNotFound
+		}
+		return errors.New("attrspace: server: " + text)
+	}
+	return nil
+}
+
+// Put stores attribute = value and waits for the acknowledgement,
+// matching the paper's blocking tdp_put.
+func (c *Client) Put(attribute, value string) error {
+	reply, err := c.call(context.Background(), wire.NewMessage("PUT").Set("attr", attribute).Set("value", value))
+	if err != nil {
+		return err
+	}
+	return replyErr(reply)
+}
+
+// Get blocks until the attribute exists and returns its value (the
+// paper's blocking tdp_get). Cancel via ctx.
+func (c *Client) Get(ctx context.Context, attribute string) (string, error) {
+	reply, err := c.call(ctx, wire.NewMessage("GET").Set("attr", attribute))
+	if err != nil {
+		return "", err
+	}
+	if err := replyErr(reply); err != nil {
+		return "", err
+	}
+	return reply.Get("value"), nil
+}
+
+// GetAsync issues a blocking GET whose reply is delivered on the
+// returned channel: the transport half of tdp_async_get. The tdp
+// package layers callback queueing and ServiceEvents on top.
+func (c *Client) GetAsync(attribute string) (<-chan Result, error) {
+	ch, _, err := c.send(wire.NewMessage("GET").Set("attr", attribute))
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan Result, 1)
+	go func() {
+		reply := <-ch
+		if err := replyErr(reply); err != nil {
+			out <- Result{Attr: attribute, Err: err}
+			return
+		}
+		out <- Result{Attr: attribute, Value: reply.Get("value")}
+	}()
+	return out, nil
+}
+
+// PutAsync issues a PUT whose acknowledgement is delivered on the
+// returned channel: the transport half of tdp_async_put.
+func (c *Client) PutAsync(attribute, value string) (<-chan Result, error) {
+	ch, _, err := c.send(wire.NewMessage("PUT").Set("attr", attribute).Set("value", value))
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan Result, 1)
+	go func() {
+		reply := <-ch
+		out <- Result{Attr: attribute, Value: value, Err: replyErr(reply)}
+	}()
+	return out, nil
+}
+
+// Result is the completion of an asynchronous get or put.
+type Result struct {
+	Attr  string
+	Value string
+	Err   error
+}
+
+// TryGet returns the current value without blocking; ErrNotFound when
+// the attribute is absent.
+func (c *Client) TryGet(attribute string) (string, error) {
+	reply, err := c.call(context.Background(), wire.NewMessage("TRYGET").Set("attr", attribute))
+	if err != nil {
+		return "", err
+	}
+	if reply.Verb == "NOTFOUND" {
+		return "", ErrNotFound
+	}
+	if err := replyErr(reply); err != nil {
+		return "", err
+	}
+	return reply.Get("value"), nil
+}
+
+// Delete removes an attribute.
+func (c *Client) Delete(attribute string) error {
+	reply, err := c.call(context.Background(), wire.NewMessage("DELETE").Set("attr", attribute))
+	if err != nil {
+		return err
+	}
+	return replyErr(reply)
+}
+
+// Snapshot returns a copy of all attributes in the context.
+func (c *Client) Snapshot() (map[string]string, error) {
+	reply, err := c.call(context.Background(), wire.NewMessage("SNAP"))
+	if err != nil {
+		return nil, err
+	}
+	if err := replyErr(reply); err != nil {
+		return nil, err
+	}
+	n := reply.Int("n", 0)
+	out := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k, ok := reply.Lookup("k" + strconv.Itoa(i))
+		if !ok {
+			return nil, fmt.Errorf("attrspace: malformed snapshot reply")
+		}
+		out[k] = reply.Get("v" + strconv.Itoa(i))
+	}
+	return out, nil
+}
+
+// Subscribe starts event push from the server. Events arrive on the
+// Events channel; the channel closes when the client does.
+func (c *Client) Subscribe() error {
+	c.mu.Lock()
+	if c.subbed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.subbed = true
+	c.mu.Unlock()
+	reply, err := c.call(context.Background(), wire.NewMessage("SUB"))
+	if err != nil {
+		return err
+	}
+	return replyErr(reply)
+}
+
+// Events returns the subscription event channel. It never yields
+// events before Subscribe succeeds.
+func (c *Client) Events() <-chan Event { return c.events }
+
+// Close leaves the context (the tdp_exit half of the refcount) and
+// tears down the connection. Close is idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	// Best-effort polite exit; the server also leaves on disconnect.
+	c.wc.Send(wire.NewMessage("EXIT"))
+	c.fail(ErrClientClosed)
+	return nil
+}

@@ -1,0 +1,349 @@
+// Package attrspace implements the TDP attribute space servers and
+// their client. A LASS (Local Attribute Space Server) runs on every
+// execution host; the CASS (Central Attribute Space Server) runs on
+// the host with the tool front-end (paper §2.1, Figure 2). Both are
+// the same server — the distinction is purely where they run and who
+// connects — so one implementation serves both roles.
+//
+// The protocol is framed wire.Messages:
+//
+//	client → server:
+//	  HELLO   context=<name>                 join a context
+//	  PUT     id=<n> attr=<a> value=<v>      store, ack with OK
+//	  GET     id=<n> attr=<a>                blocking get, reply VALUE
+//	  TRYGET  id=<n> attr=<a>                non-blocking, VALUE or NOTFOUND
+//	  DELETE  id=<n> attr=<a>                remove, ack with OK
+//	  SNAP    id=<n>                         dump all attributes
+//	  SUB     id=<n>                         start event push, ack with OK
+//	  EXIT                                   leave context and disconnect
+//
+//	server → client:
+//	  OK      id=<n>
+//	  VALUE   id=<n> attr=<a> value=<v>
+//	  NOTFOUND id=<n> attr=<a>
+//	  SNAPV   id=<n> n=<count> k0=.. v0=.. k1=..
+//	  ERROR   id=<n> error=<text>
+//	  EVENT   attr=<a> value=<v> op=<put|delete|destroy> seq=<n>
+//
+// Every reply carries the request id, so a client may keep many
+// blocking GETs outstanding on one connection — this is what makes the
+// paper's tdp_async_get natural to implement.
+package attrspace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+
+	"tdp/internal/attr"
+	"tdp/internal/wire"
+)
+
+// Server is one attribute space server instance (a LASS or the CASS).
+type Server struct {
+	space *attr.Space
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[*serverConn]struct{}
+	closed   bool
+	logf     func(format string, args ...any)
+
+	// statistics for the characterization benchmarks
+	puts, gets, tryGets, deletes, snaps int64
+}
+
+// NewServer returns a server around a fresh attribute space.
+func NewServer() *Server {
+	return NewServerWithSpace(attr.NewSpace())
+}
+
+// NewServerWithSpace returns a server around an existing space, which
+// lets tests and the in-process fast path share state with the server.
+func NewServerWithSpace(space *attr.Space) *Server {
+	return &Server{
+		space: space,
+		conns: make(map[*serverConn]struct{}),
+		logf:  func(string, ...any) {},
+	}
+}
+
+// SetLogf installs a logging function (e.g. log.Printf) for connection
+// level diagnostics. The default discards.
+func (s *Server) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// Space returns the underlying attribute space.
+func (s *Server) Space() *attr.Space { return s.space }
+
+// Stats returns operation counters since start.
+func (s *Server) Stats() (puts, gets, tryGets, deletes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts, s.gets, s.tryGets, s.deletes
+}
+
+// Serve accepts connections on l until Close is called or the listener
+// fails. It blocks; run it in a goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		sc := &serverConn{srv: s, wc: wire.NewConn(c), raw: c}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		go sc.run()
+	}
+}
+
+// Close stops the listener and disconnects every client.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.raw.Close()
+	}
+}
+
+func (s *Server) dropConn(c *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serverConn is one client session.
+type serverConn struct {
+	srv *Server
+	wc  *wire.Conn
+	raw net.Conn
+
+	mu  sync.Mutex
+	ref *attr.Ref // joined context, nil until HELLO
+	sub *attr.Subscription
+}
+
+func (c *serverConn) run() {
+	srv := c.srv
+	defer srv.dropConn(c)
+	// Per-connection context cancels blocked GETs when the peer goes away.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	defer func() {
+		c.mu.Lock()
+		ref, sub := c.ref, c.sub
+		c.ref, c.sub = nil, nil
+		c.mu.Unlock()
+		if sub != nil && ref != nil {
+			ref.Unsubscribe(sub)
+		}
+		if ref != nil {
+			ref.Leave()
+		}
+		c.raw.Close()
+	}()
+
+	for {
+		m, err := c.wc.Recv()
+		if err != nil {
+			return // disconnect
+		}
+		switch m.Verb {
+		case "HELLO":
+			name := m.Get("context")
+			c.mu.Lock()
+			already := c.ref != nil
+			if !already {
+				c.ref = srv.space.Join(name)
+			}
+			c.mu.Unlock()
+			if already {
+				c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).Set("error", "already joined"))
+				continue
+			}
+			c.reply(wire.NewMessage("OK").Set("id", m.Get("id")))
+		case "EXIT":
+			return
+		case "PUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
+			c.handleOp(ctx, m)
+		default:
+			c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).
+				Set("error", fmt.Sprintf("unknown verb %q", m.Verb)))
+		}
+	}
+}
+
+func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
+	c.mu.Lock()
+	ref := c.ref
+	c.mu.Unlock()
+	id := m.Get("id")
+	if ref == nil {
+		c.reply(wire.NewMessage("ERROR").Set("id", id).Set("error", "HELLO required"))
+		return
+	}
+	srv := c.srv
+	switch m.Verb {
+	case "PUT":
+		if err := ref.Put(m.Get("attr"), m.Get("value")); err != nil {
+			c.replyErr(id, err)
+			return
+		}
+		srv.mu.Lock()
+		srv.puts++
+		srv.mu.Unlock()
+		c.reply(wire.NewMessage("OK").Set("id", id))
+	case "TRYGET":
+		v, err := ref.TryGet(m.Get("attr"))
+		srv.mu.Lock()
+		srv.tryGets++
+		srv.mu.Unlock()
+		switch {
+		case errors.Is(err, attr.ErrNotFound):
+			c.reply(wire.NewMessage("NOTFOUND").Set("id", id).Set("attr", m.Get("attr")))
+		case err != nil:
+			c.replyErr(id, err)
+		default:
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", m.Get("attr")).Set("value", v))
+		}
+	case "GET":
+		// Blocking get: serve it on its own goroutine so this session
+		// keeps processing other requests (the multiplexing that makes
+		// async gets possible on a single connection).
+		attribute := m.Get("attr")
+		srv.mu.Lock()
+		srv.gets++
+		srv.mu.Unlock()
+		go func() {
+			v, err := ref.Get(ctx, attribute)
+			if err != nil {
+				c.replyErr(id, err)
+				return
+			}
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).Set("value", v))
+		}()
+	case "DELETE":
+		if err := ref.Delete(m.Get("attr")); err != nil {
+			c.replyErr(id, err)
+			return
+		}
+		srv.mu.Lock()
+		srv.deletes++
+		srv.mu.Unlock()
+		c.reply(wire.NewMessage("OK").Set("id", id))
+	case "SNAP":
+		snap, err := ref.Snapshot()
+		if err != nil {
+			c.replyErr(id, err)
+			return
+		}
+		srv.mu.Lock()
+		srv.snaps++
+		srv.mu.Unlock()
+		reply := wire.NewMessage("SNAPV").Set("id", id).SetInt("n", len(snap))
+		i := 0
+		for k, v := range snap {
+			reply.Set("k"+strconv.Itoa(i), k)
+			reply.Set("v"+strconv.Itoa(i), v)
+			i++
+		}
+		c.reply(reply)
+	case "SUB":
+		c.mu.Lock()
+		already := c.sub != nil
+		var err error
+		if !already {
+			c.sub, err = ref.Subscribe(64)
+		}
+		sub := c.sub
+		c.mu.Unlock()
+		if already {
+			c.reply(wire.NewMessage("ERROR").Set("id", id).Set("error", "already subscribed"))
+			return
+		}
+		if err != nil {
+			c.replyErr(id, err)
+			return
+		}
+		go func() {
+			for u := range sub.Updates() {
+				ev := wire.NewMessage("EVENT").
+					Set("attr", u.Attr).
+					Set("value", u.Value).
+					Set("op", u.Op.String()).
+					Set("seq", strconv.FormatUint(u.Seq, 10))
+				if err := c.wc.Send(ev); err != nil {
+					return
+				}
+			}
+		}()
+		c.reply(wire.NewMessage("OK").Set("id", id))
+	}
+}
+
+func (c *serverConn) reply(m *wire.Message) {
+	if err := c.wc.Send(m); err != nil {
+		c.srv.logf("attrspace: send to %v failed: %v", c.raw.RemoteAddr(), err)
+	}
+}
+
+func (c *serverConn) replyErr(id string, err error) {
+	c.reply(wire.NewMessage("ERROR").Set("id", id).Set("error", err.Error()))
+}
+
+// ListenAndServe starts the server on a real TCP address and returns
+// the bound address. Used by cmd/lassd and cmd/cassd.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := s.Serve(l); err != nil {
+			log.Printf("attrspace: serve: %v", err)
+		}
+	}()
+	return l.Addr().String(), nil
+}

@@ -1,0 +1,175 @@
+package classad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ad is a ClassAd: an ordered set of attribute = expression bindings.
+// Attribute names are case-insensitive, per ClassAd convention.
+type Ad struct {
+	attrs map[string]Expr // lower-cased name -> expression
+	names map[string]string
+}
+
+// NewAd returns an empty ad.
+func NewAd() *Ad {
+	return &Ad{attrs: make(map[string]Expr), names: make(map[string]string)}
+}
+
+// Set binds an attribute to a parsed expression.
+func (a *Ad) Set(name string, e Expr) {
+	key := strings.ToLower(name)
+	a.attrs[key] = e
+	a.names[key] = name
+}
+
+// SetExpr parses src and binds it to name.
+func (a *Ad) SetExpr(name, src string) error {
+	e, err := Parse(src)
+	if err != nil {
+		return fmt.Errorf("classad: attribute %s: %w", name, err)
+	}
+	a.Set(name, e)
+	return nil
+}
+
+// SetString binds a string literal.
+func (a *Ad) SetString(name, s string) { a.Set(name, &litExpr{v: Str(s)}) }
+
+// SetInt binds an integer literal.
+func (a *Ad) SetInt(name string, i int64) { a.Set(name, &litExpr{v: Int(i)}) }
+
+// SetBool binds a boolean literal.
+func (a *Ad) SetBool(name string, b bool) { a.Set(name, &litExpr{v: Bool(b)}) }
+
+// expr returns the raw expression bound to name.
+func (a *Ad) expr(name string) (Expr, bool) {
+	e, ok := a.attrs[strings.ToLower(name)]
+	return e, ok
+}
+
+// Has reports whether the attribute is bound.
+func (a *Ad) Has(name string) bool {
+	_, ok := a.attrs[strings.ToLower(name)]
+	return ok
+}
+
+// Names returns the bound attribute names (original case), sorted.
+func (a *Ad) Names() []string {
+	out := make([]string, 0, len(a.names))
+	for _, n := range a.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates the named attribute with this ad as MY and target
+// (which may be nil) as TARGET. Missing attributes are Undefined.
+func (a *Ad) Eval(name string, target *Ad) Value {
+	e, ok := a.expr(name)
+	if !ok {
+		return Undefined
+	}
+	return e.Eval(&Env{My: a, Target: target})
+}
+
+// EvalString returns the attribute as a string value, or "" when it is
+// not a string.
+func (a *Ad) EvalString(name string, target *Ad) string {
+	v := a.Eval(name, target)
+	if v.Kind == KindString {
+		return v.S
+	}
+	return ""
+}
+
+// EvalInt returns the attribute as an int64 with a default.
+func (a *Ad) EvalInt(name string, target *Ad, def int64) int64 {
+	v := a.Eval(name, target)
+	switch v.Kind {
+	case KindInt:
+		return v.I
+	case KindReal:
+		return int64(v.R)
+	default:
+		return def
+	}
+}
+
+// EvalBool returns the attribute as a bool; undefined/error/non-bool
+// yield false.
+func (a *Ad) EvalBool(name string, target *Ad) bool {
+	return a.Eval(name, target).IsTrue()
+}
+
+// String renders the ad as "[ a = expr; b = expr; ]", sorted by name.
+func (a *Ad) String() string {
+	names := a.Names()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		e, _ := a.expr(n)
+		parts[i] = fmt.Sprintf("%s = %s", n, e.String())
+	}
+	return "[ " + strings.Join(parts, "; ") + " ]"
+}
+
+// Clone returns a shallow copy (expressions are immutable).
+func (a *Ad) Clone() *Ad {
+	out := NewAd()
+	for k, e := range a.attrs {
+		out.attrs[k] = e
+		out.names[k] = a.names[k]
+	}
+	return out
+}
+
+// Matches reports whether both ads' Requirements evaluate to true
+// against each other — Condor's symmetric matchmaking test. An ad
+// without a Requirements attribute imposes no constraint.
+func Matches(a, b *Ad) bool {
+	return halfMatch(a, b) && halfMatch(b, a)
+}
+
+func halfMatch(my, target *Ad) bool {
+	e, ok := my.expr("requirements")
+	if !ok {
+		return true
+	}
+	return e.Eval(&Env{My: my, Target: target}).IsTrue()
+}
+
+// Rank evaluates my's Rank expression against target, yielding 0.0
+// when absent or non-numeric. Higher is better.
+func Rank(my, target *Ad) float64 {
+	e, ok := my.expr("rank")
+	if !ok {
+		return 0
+	}
+	v := e.Eval(&Env{My: my, Target: target})
+	n, numOK := v.Number()
+	if !numOK {
+		return 0
+	}
+	return n
+}
+
+// MatchBest returns the index of the best-ranked ad in offers that
+// mutually matches request (request's Rank breaks ties by order), or
+// -1 when none match. This is the matchmaker's core decision.
+func MatchBest(request *Ad, offers []*Ad) int {
+	best := -1
+	bestRank := 0.0
+	for i, offer := range offers {
+		if offer == nil || !Matches(request, offer) {
+			continue
+		}
+		r := Rank(request, offer)
+		if best == -1 || r > bestRank {
+			best, bestRank = i, r
+		}
+	}
+	return best
+}

@@ -1,0 +1,439 @@
+package classad
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalSrc(t *testing.T, src string, env *Env) Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e.Eval(env)
+}
+
+func TestLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"+7", Int(7)},
+		{"3.5", Real(3.5)},
+		{"1e3", Real(1000)},
+		{"2.5e-1", Real(0.25)},
+		{`"hello"`, Str("hello")},
+		{`"a\"b\n"`, Str("a\"b\n")},
+		{"TRUE", True},
+		{"false", False},
+		{"UNDEFINED", Undefined},
+		{"ERROR", ErrorVal},
+	}
+	for _, c := range cases {
+		if got := evalSrc(t, c.src, nil); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 + 2 * 3", Int(7)},
+		{"(1 + 2) * 3", Int(9)},
+		{"10 / 4", Int(2)},
+		{"10 % 3", Int(1)},
+		{"10.0 / 4", Real(2.5)},
+		{"1 + 2.5", Real(3.5)},
+		{"2 * 3 - 4 / 2", Int(4)},
+		{"1 / 0", ErrorVal},
+		{"1 % 0", ErrorVal},
+		{"1.5 % 2", ErrorVal},
+		{`"foo" + "bar"`, Str("foobar")},
+		{`"foo" * 2`, ErrorVal},
+		{"-(3 + 4)", Int(-7)},
+		{"-2.5", Real(-2.5)},
+	}
+	for _, c := range cases {
+		if got := evalSrc(t, c.src, nil); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparison(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 < 2", True},
+		{"2 <= 2", True},
+		{"3 > 4", False},
+		{"3 >= 3", True},
+		{"1 == 1.0", True},
+		{"1 != 2", True},
+		{`"Linux" == "LINUX"`, True}, // case-insensitive ==
+		{`"abc" < "ABD"`, True},      // case-insensitive ordering
+		{`"a" < 1`, ErrorVal},
+		{"TRUE == TRUE", True},
+		{"TRUE == FALSE", False},
+		{`1 == "1"`, False},
+	}
+	for _, c := range cases {
+		if got := evalSrc(t, c.src, nil); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBooleanNonStrict(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"TRUE && TRUE", True},
+		{"TRUE && FALSE", False},
+		{"FALSE && UNDEFINED", False}, // short-circuit
+		{"UNDEFINED && FALSE", False}, // non-strict
+		{"UNDEFINED && TRUE", Undefined},
+		{"TRUE || UNDEFINED", True},
+		{"UNDEFINED || TRUE", True},
+		{"UNDEFINED || FALSE", Undefined},
+		{"FALSE || FALSE", False},
+		{"!TRUE", False},
+		{"!UNDEFINED", Undefined},
+		{"!1", ErrorVal},
+	}
+	for _, c := range cases {
+		if got := evalSrc(t, c.src, nil); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestUndefinedPropagation(t *testing.T) {
+	cases := []string{"Missing + 1", "Missing == 1", "Missing < 1", "-Missing"}
+	my := NewAd()
+	for _, src := range cases {
+		if got := evalSrc(t, src, &Env{My: my}); got != Undefined {
+			t.Errorf("%q = %v, want UNDEFINED", src, got)
+		}
+	}
+}
+
+func TestIsIdenticalOperators(t *testing.T) {
+	my := NewAd()
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"Missing =?= UNDEFINED", True},
+		{"Missing =!= UNDEFINED", False},
+		{"1 =?= 1", True},
+		{"1 =?= 1.0", True},
+		{`"a" =?= "A"`, False}, // identity is case-sensitive
+		{"1 =?= UNDEFINED", False},
+	}
+	for _, c := range cases {
+		if got := evalSrc(t, c.src, &Env{My: my}); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"isUndefined(Missing)", True},
+		{"isUndefined(1)", False},
+		{"isError(1/0)", True},
+		{`strcat("a", "b", 3)`, Str("ab3")},
+		{"floor(2.7)", Int(2)},
+		{"floor(-2.1)", Int(-3)},
+		{"floor(5)", Int(5)},
+		{"min(3, 1, 2)", Int(1)},
+		{"max(3, 1, 2.5)", Real(3)},
+		{"min()", ErrorVal},
+	}
+	my := NewAd()
+	for _, c := range cases {
+		if got := evalSrc(t, c.src, &Env{My: my}); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", `"unterminated`, "nosuchfn(1)", "1 2", "my.", "&& 1", "@",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestAttributeReferences(t *testing.T) {
+	machine := NewAd()
+	machine.SetInt("Memory", 128)
+	machine.SetString("Arch", "INTEL")
+	machine.SetString("OpSys", "LINUX")
+
+	job := NewAd()
+	job.SetInt("ImageSize", 64)
+	if err := job.SetExpr("Requirements", `Arch == "INTEL" && OpSys == "LINUX" && Memory >= ImageSize`); err != nil {
+		t.Fatalf("SetExpr: %v", err)
+	}
+	// Unscoped Arch/OpSys/Memory resolve through the target; ImageSize
+	// resolves locally.
+	if got := job.Eval("Requirements", machine); got != True {
+		t.Errorf("Requirements = %v, want TRUE", got)
+	}
+	// Explicit scopes.
+	job2 := NewAd()
+	job2.SetInt("Memory", 1)
+	job2.SetExpr("Requirements", "TARGET.Memory > MY.Memory")
+	if got := job2.Eval("Requirements", machine); got != True {
+		t.Errorf("scoped Requirements = %v", got)
+	}
+}
+
+func TestChainedAttributeEvaluation(t *testing.T) {
+	ad := NewAd()
+	ad.SetInt("Base", 10)
+	ad.SetExpr("Derived", "Base * 2")
+	ad.SetExpr("Doubly", "Derived + 1")
+	if got := ad.Eval("Doubly", nil); got != Int(21) {
+		t.Errorf("Doubly = %v", got)
+	}
+}
+
+func TestSelfReferenceTerminates(t *testing.T) {
+	ad := NewAd()
+	ad.SetExpr("Loop", "Loop + 1")
+	if got := ad.Eval("Loop", nil); got != ErrorVal {
+		t.Errorf("self-referential attr = %v, want ERROR", got)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	machine := NewAd()
+	machine.SetInt("Memory", 128)
+	machine.SetString("Arch", "INTEL")
+	machine.SetString("OpSys", "LINUX")
+	machine.SetExpr("Requirements", "TARGET.ImageSize <= MY.Memory")
+
+	job := NewAd()
+	job.SetInt("ImageSize", 64)
+	job.SetExpr("Requirements", `Arch == "INTEL" && OpSys == "LINUX"`)
+
+	if !Matches(job, machine) {
+		t.Error("compatible job/machine did not match")
+	}
+
+	bigJob := NewAd()
+	bigJob.SetInt("ImageSize", 256)
+	bigJob.SetExpr("Requirements", `Arch == "INTEL"`)
+	if Matches(bigJob, machine) {
+		t.Error("oversized job matched (machine requirements ignored)")
+	}
+
+	wrongArch := NewAd()
+	wrongArch.SetInt("ImageSize", 1)
+	wrongArch.SetExpr("Requirements", `Arch == "SPARC"`)
+	if Matches(wrongArch, machine) {
+		t.Error("wrong-arch job matched")
+	}
+
+	// Absent Requirements imposes no constraint.
+	freeJob := NewAd()
+	freeJob.SetInt("ImageSize", 1)
+	if !Matches(freeJob, machine) {
+		t.Error("unconstrained job did not match")
+	}
+}
+
+func TestMatchUndefinedRequirementIsNoMatch(t *testing.T) {
+	machine := NewAd() // no Memory attribute
+	job := NewAd()
+	job.SetExpr("Requirements", "Memory >= 64")
+	if Matches(job, machine) {
+		t.Error("undefined requirement treated as match")
+	}
+}
+
+func TestRankAndMatchBest(t *testing.T) {
+	job := NewAd()
+	job.SetExpr("Requirements", "Memory >= 32")
+	job.SetExpr("Rank", "Memory")
+
+	mk := func(mem int64) *Ad {
+		m := NewAd()
+		m.SetInt("Memory", mem)
+		return m
+	}
+	offers := []*Ad{mk(16), mk(64), mk(256), mk(128), nil}
+	best := MatchBest(job, offers)
+	if best != 2 {
+		t.Errorf("MatchBest = %d, want 2 (Memory=256)", best)
+	}
+	if r := Rank(job, offers[2]); r != 256 {
+		t.Errorf("Rank = %v", r)
+	}
+	if r := Rank(NewAd(), offers[2]); r != 0 {
+		t.Errorf("absent Rank = %v", r)
+	}
+	noFit := NewAd()
+	noFit.SetExpr("Requirements", "Memory >= 1024")
+	if got := MatchBest(noFit, offers); got != -1 {
+		t.Errorf("MatchBest with no fit = %d", got)
+	}
+}
+
+func TestAdAccessors(t *testing.T) {
+	ad := NewAd()
+	ad.SetString("Name", "node1")
+	ad.SetInt("Cpus", 4)
+	ad.SetBool("HasTDP", true)
+	if !ad.Has("name") || !ad.Has("NAME") {
+		t.Error("Has is case-sensitive")
+	}
+	if ad.Has("ghost") {
+		t.Error("Has(ghost)")
+	}
+	if got := ad.EvalString("Name", nil); got != "node1" {
+		t.Errorf("EvalString = %q", got)
+	}
+	if got := ad.EvalInt("Cpus", nil, -1); got != 4 {
+		t.Errorf("EvalInt = %d", got)
+	}
+	if got := ad.EvalInt("ghost", nil, -1); got != -1 {
+		t.Errorf("EvalInt default = %d", got)
+	}
+	if !ad.EvalBool("HasTDP", nil) || ad.EvalBool("ghost", nil) {
+		t.Error("EvalBool wrong")
+	}
+	names := ad.Names()
+	if len(names) != 3 || names[0] != "Cpus" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestAdCloneIndependent(t *testing.T) {
+	a := NewAd()
+	a.SetInt("X", 1)
+	b := a.Clone()
+	b.SetInt("X", 2)
+	if a.EvalInt("X", nil, 0) != 1 || b.EvalInt("X", nil, 0) != 2 {
+		t.Error("Clone aliases source")
+	}
+}
+
+func TestAdString(t *testing.T) {
+	ad := NewAd()
+	ad.SetInt("B", 2)
+	ad.SetString("A", "x")
+	got := ad.String()
+	want := `[ A = "x"; B = 2 ]`
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	// Rendering an expression and reparsing must preserve its value.
+	srcs := []string{
+		"1 + 2 * 3",
+		`Arch == "INTEL" && Memory >= 64`,
+		"!(A || B) && C < 2.5",
+		`strcat("a", "b")`,
+		"TARGET.Memory > MY.Memory",
+		"Missing =?= UNDEFINED",
+	}
+	my := NewAd()
+	my.SetInt("Memory", 32)
+	tgt := NewAd()
+	tgt.SetInt("Memory", 64)
+	tgt.SetString("Arch", "INTEL")
+	env := &Env{My: my, Target: tgt}
+	for _, src := range srcs {
+		e1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, e1.String(), err)
+		}
+		if v1, v2 := e1.Eval(env), e2.Eval(env); v1 != v2 {
+			t.Errorf("%q: %v != reparsed %v", src, v1, v2)
+		}
+	}
+}
+
+func TestQuickIntArithmeticMatchesGo(t *testing.T) {
+	f := func(a, b int16) bool {
+		ad := NewAd()
+		ad.SetInt("A", int64(a))
+		ad.SetInt("B", int64(b))
+		e := MustParse("A + B * 2 - (A - B)")
+		want := int64(a) + int64(b)*2 - (int64(a) - int64(b))
+		return e.Eval(&Env{My: ad}) == Int(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComparisonTotality(t *testing.T) {
+	// For any two ints, exactly one of <, ==, > holds.
+	f := func(a, b int32) bool {
+		ad := NewAd()
+		ad.SetInt("A", int64(a))
+		ad.SetInt("B", int64(b))
+		env := &Env{My: ad}
+		lt := MustParse("A < B").Eval(env).IsTrue()
+		eq := MustParse("A == B").Eval(env).IsTrue()
+		gt := MustParse("A > B").Eval(env).IsTrue()
+		count := 0
+		for _, x := range []bool{lt, eq, gt} {
+			if x {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringsAndKind(t *testing.T) {
+	if Int(5).String() != "5" || Real(2.5).String() != "2.5" ||
+		Str("x").String() != `"x"` || True.String() != "TRUE" ||
+		False.String() != "FALSE" || Undefined.String() != "UNDEFINED" ||
+		ErrorVal.String() != "ERROR" {
+		t.Error("Value.String wrong")
+	}
+	if KindInt.String() != "integer" || KindString.String() != "string" ||
+		Kind(99).String() != "kind(99)" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("1 +")
+}

@@ -1,0 +1,383 @@
+package classad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Env is the evaluation environment: the ad owning the expression (My)
+// and, during matchmaking, the candidate ad (Target). Either may be nil.
+type Env struct {
+	My     *Ad
+	Target *Ad
+	depth  int // recursion guard for self-referential ads
+}
+
+const maxEvalDepth = 64
+
+// litExpr is a literal value.
+type litExpr struct{ v Value }
+
+func (e *litExpr) Eval(*Env) Value { return e.v }
+func (e *litExpr) String() string  { return e.v.String() }
+
+// refExpr is an attribute reference, optionally scoped.
+type refExpr struct {
+	scope string // "", "MY", "TARGET" (case-insensitive)
+	name  string
+}
+
+func (e *refExpr) Eval(env *Env) Value {
+	if env == nil {
+		return Undefined
+	}
+	if env.depth >= maxEvalDepth {
+		return ErrorVal
+	}
+	lookup := func(ad *Ad, flip bool) Value {
+		if ad == nil {
+			return Undefined
+		}
+		sub, ok := ad.expr(e.name)
+		if !ok {
+			return Undefined
+		}
+		inner := &Env{My: ad, Target: env.Target, depth: env.depth + 1}
+		if flip {
+			// Evaluating inside the target: its MY is itself, and its
+			// TARGET is our MY (the symmetric matchmaking view).
+			inner.My, inner.Target = ad, env.My
+		}
+		return sub.Eval(inner)
+	}
+	switch strings.ToUpper(e.scope) {
+	case "MY", "":
+		if v := lookup(env.My, false); v.Kind != KindUndefined || e.scope != "" {
+			return v
+		}
+		// Unscoped references fall through to the target when absent
+		// locally — the ClassAd convention that makes expressions like
+		// "Memory >= 64" work in a job ad that means the machine's Memory.
+		return lookup(env.Target, true)
+	case "TARGET", "OTHER":
+		return lookup(env.Target, true)
+	default:
+		return Undefined
+	}
+}
+
+func (e *refExpr) String() string {
+	if e.scope != "" {
+		return e.scope + "." + e.name
+	}
+	return e.name
+}
+
+// unaryExpr is !x or -x.
+type unaryExpr struct {
+	op      string
+	operand Expr
+}
+
+func (e *unaryExpr) Eval(env *Env) Value {
+	v := e.operand.Eval(env)
+	switch v.Kind {
+	case KindUndefined, KindError:
+		return v
+	}
+	switch e.op {
+	case "!":
+		if v.Kind == KindBool {
+			return Bool(!v.B)
+		}
+		return ErrorVal
+	case "-":
+		switch v.Kind {
+		case KindInt:
+			return Int(-v.I)
+		case KindReal:
+			return Real(-v.R)
+		}
+		return ErrorVal
+	}
+	return ErrorVal
+}
+
+func (e *unaryExpr) String() string { return e.op + e.operand.String() }
+
+// binaryExpr is a binary operator application.
+type binaryExpr struct {
+	op       string
+	lhs, rhs Expr
+}
+
+func (e *binaryExpr) Eval(env *Env) Value {
+	// Non-strict boolean operators (ClassAd truth tables).
+	switch e.op {
+	case "&&":
+		l := e.lhs.Eval(env)
+		if l.Kind == KindBool && !l.B {
+			return False
+		}
+		r := e.rhs.Eval(env)
+		if r.Kind == KindBool && !r.B {
+			return False
+		}
+		if l.IsTrue() && r.IsTrue() {
+			return True
+		}
+		if l.Kind == KindError || r.Kind == KindError {
+			return ErrorVal
+		}
+		return Undefined
+	case "||":
+		l := e.lhs.Eval(env)
+		if l.IsTrue() {
+			return True
+		}
+		r := e.rhs.Eval(env)
+		if r.IsTrue() {
+			return True
+		}
+		if l.Kind == KindBool && r.Kind == KindBool {
+			return False
+		}
+		if l.Kind == KindError || r.Kind == KindError {
+			return ErrorVal
+		}
+		return Undefined
+	case "=?=": // is-identical-to: never undefined
+		l, r := e.lhs.Eval(env), e.rhs.Eval(env)
+		return Bool(identical(l, r))
+	case "=!=":
+		l, r := e.lhs.Eval(env), e.rhs.Eval(env)
+		return Bool(!identical(l, r))
+	}
+
+	// Strict operators: undefined/error propagate.
+	l := e.lhs.Eval(env)
+	if l.Kind == KindUndefined || l.Kind == KindError {
+		return l
+	}
+	r := e.rhs.Eval(env)
+	if r.Kind == KindUndefined || r.Kind == KindError {
+		return r
+	}
+	switch e.op {
+	case "==":
+		return Bool(Equal(l, r))
+	case "!=":
+		return Bool(!Equal(l, r))
+	case "<", "<=", ">", ">=":
+		return compare(e.op, l, r)
+	case "+", "-", "*", "/", "%":
+		return arith(e.op, l, r)
+	}
+	return ErrorVal
+}
+
+func (e *binaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.lhs.String(), e.op, e.rhs.String())
+}
+
+func identical(a, b Value) bool {
+	if a.Kind != b.Kind {
+		// int/real cross-compare numerically for =?= only when both numeric
+		an, aok := a.Number()
+		bn, bok := b.Number()
+		return aok && bok && an == bn
+	}
+	switch a.Kind {
+	case KindUndefined, KindError:
+		return true
+	case KindBool:
+		return a.B == b.B
+	case KindInt:
+		return a.I == b.I
+	case KindReal:
+		return a.R == b.R
+	case KindString:
+		return a.S == b.S // case-sensitive for identity
+	}
+	return false
+}
+
+func compare(op string, l, r Value) Value {
+	if l.Kind == KindString && r.Kind == KindString {
+		a, b := strings.ToLower(l.S), strings.ToLower(r.S)
+		switch op {
+		case "<":
+			return Bool(a < b)
+		case "<=":
+			return Bool(a <= b)
+		case ">":
+			return Bool(a > b)
+		case ">=":
+			return Bool(a >= b)
+		}
+	}
+	ln, lok := l.Number()
+	rn, rok := r.Number()
+	if !lok || !rok {
+		return ErrorVal
+	}
+	switch op {
+	case "<":
+		return Bool(ln < rn)
+	case "<=":
+		return Bool(ln <= rn)
+	case ">":
+		return Bool(ln > rn)
+	case ">=":
+		return Bool(ln >= rn)
+	}
+	return ErrorVal
+}
+
+func arith(op string, l, r Value) Value {
+	// String concatenation with +.
+	if op == "+" && l.Kind == KindString && r.Kind == KindString {
+		return Str(l.S + r.S)
+	}
+	// Integer arithmetic when both are ints.
+	if l.Kind == KindInt && r.Kind == KindInt {
+		switch op {
+		case "+":
+			return Int(l.I + r.I)
+		case "-":
+			return Int(l.I - r.I)
+		case "*":
+			return Int(l.I * r.I)
+		case "/":
+			if r.I == 0 {
+				return ErrorVal
+			}
+			return Int(l.I / r.I)
+		case "%":
+			if r.I == 0 {
+				return ErrorVal
+			}
+			return Int(l.I % r.I)
+		}
+	}
+	ln, lok := l.Number()
+	rn, rok := r.Number()
+	if !lok || !rok {
+		return ErrorVal
+	}
+	switch op {
+	case "+":
+		return Real(ln + rn)
+	case "-":
+		return Real(ln - rn)
+	case "*":
+		return Real(ln * rn)
+	case "/":
+		if rn == 0 {
+			return ErrorVal
+		}
+		return Real(ln / rn)
+	case "%":
+		return ErrorVal // modulo is integer-only
+	}
+	return ErrorVal
+}
+
+// callExpr is a builtin function call.
+type callExpr struct {
+	fn   string
+	args []Expr
+}
+
+func (e *callExpr) Eval(env *Env) Value {
+	f := builtins[e.fn]
+	if f == nil {
+		return ErrorVal
+	}
+	vals := make([]Value, len(e.args))
+	for i, a := range e.args {
+		vals[i] = a.Eval(env)
+	}
+	return f(vals)
+}
+
+func (e *callExpr) String() string {
+	parts := make([]string, len(e.args))
+	for i, a := range e.args {
+		parts[i] = a.String()
+	}
+	return e.fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// builtins are the supported ClassAd functions.
+var builtins = map[string]func([]Value) Value{
+	"isundefined": func(v []Value) Value {
+		if len(v) != 1 {
+			return ErrorVal
+		}
+		return Bool(v[0].Kind == KindUndefined)
+	},
+	"iserror": func(v []Value) Value {
+		if len(v) != 1 {
+			return ErrorVal
+		}
+		return Bool(v[0].Kind == KindError)
+	},
+	"strcat": func(v []Value) Value {
+		var sb strings.Builder
+		for _, x := range v {
+			if x.Kind == KindUndefined || x.Kind == KindError {
+				return x
+			}
+			if x.Kind == KindString {
+				sb.WriteString(x.S)
+			} else {
+				sb.WriteString(x.String())
+			}
+		}
+		return Str(sb.String())
+	},
+	"floor": func(v []Value) Value {
+		if len(v) != 1 {
+			return ErrorVal
+		}
+		n, ok := v[0].Number()
+		if !ok {
+			return ErrorVal
+		}
+		i := int64(n)
+		if float64(i) > n {
+			i--
+		}
+		return Int(i)
+	},
+	"min": func(v []Value) Value { return minmax(v, true) },
+	"max": func(v []Value) Value { return minmax(v, false) },
+}
+
+func minmax(v []Value, min bool) Value {
+	if len(v) == 0 {
+		return ErrorVal
+	}
+	best, ok := v[0].Number()
+	if !ok {
+		return v[0]
+	}
+	allInt := v[0].Kind == KindInt
+	for _, x := range v[1:] {
+		n, ok := x.Number()
+		if !ok {
+			return x
+		}
+		if x.Kind != KindInt {
+			allInt = false
+		}
+		if (min && n < best) || (!min && n > best) {
+			best = n
+		}
+	}
+	if allInt {
+		return Int(int64(best))
+	}
+	return Real(best)
+}

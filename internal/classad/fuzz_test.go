@@ -1,0 +1,68 @@
+package classad
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary input must yield an expression or an
+// error, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalNeverPanics: any parseable expression must evaluate (to a
+// value, possibly ERROR/UNDEFINED) against arbitrary ads.
+func TestEvalNeverPanics(t *testing.T) {
+	srcs := []string{
+		"A + B", "A && B || !C", "A == TARGET.A", "MY.X < TARGET.Y",
+		"strcat(A, B)", "min(A, B, C)", "A / B", "A % B",
+		"A =?= UNDEFINED", "-A * (B + C)", "isError(A / B)",
+	}
+	f := func(a, b int32, s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		my := NewAd()
+		my.SetInt("A", int64(a))
+		my.SetString("B", s)
+		tgt := NewAd()
+		tgt.SetInt("A", int64(b))
+		tgt.SetInt("Y", int64(b))
+		env := &Env{My: my, Target: tgt}
+		for _, src := range srcs {
+			MustParse(src).Eval(env)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchesSymmetryOfEmptyAds: ads without Requirements always
+// mutually match, in either order.
+func TestMatchesSymmetryOfEmptyAds(t *testing.T) {
+	f := func(n int16) bool {
+		a := NewAd()
+		a.SetInt("X", int64(n))
+		b := NewAd()
+		return Matches(a, b) && Matches(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

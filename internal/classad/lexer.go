@@ -1,0 +1,150 @@
+package classad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokInt
+	tokReal
+	tokString
+	tokIdent // identifiers, including TRUE/FALSE/UNDEFINED/ERROR keywords
+	tokOp    // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes a ClassAd expression.
+type lexer struct {
+	src string
+	pos int
+}
+
+// operators, longest first so multi-char ops win.
+var operators = []string{
+	"&&", "||", "==", "!=", "<=", ">=", "=?=", "=!=",
+	"<", ">", "+", "-", "*", "/", "%", "!", "(", ")", ",", ".",
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	// String literal.
+	if c == '"' {
+		var sb strings.Builder
+		l.pos++
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					sb.WriteByte(l.src[l.pos])
+				}
+				l.pos++
+				continue
+			}
+			if ch == '"' {
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("classad: unterminated string at %d", start)
+	}
+
+	// Number.
+	if isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])) {
+		isReal := false
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			if l.src[l.pos] == '.' {
+				if isReal {
+					break // second dot ends the number
+				}
+				// Distinguish "1.5" from "my.attr" handled elsewhere;
+				// a dot directly after digits starts a fraction only
+				// when followed by a digit.
+				if l.pos+1 >= len(l.src) || !isDigit(l.src[l.pos+1]) {
+					break
+				}
+				isReal = true
+			}
+			l.pos++
+		}
+		// Exponent.
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			save := l.pos
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				isReal = true
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		kind := tokInt
+		if isReal {
+			kind = tokReal
+		}
+		return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+	}
+
+	// Identifier.
+	if isIdentStart(c) {
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	}
+
+	// Operator.
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += len(op)
+			return token{kind: tokOp, text: op, pos: start}, nil
+		}
+	}
+	return token{}, fmt.Errorf("classad: unexpected character %q at %d", c, l.pos)
+}
+
+func isSpace(c byte) bool      { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool      { return '0' <= c && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

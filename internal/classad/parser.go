@@ -1,0 +1,229 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a parsed ClassAd expression.
+type Expr interface {
+	// Eval computes the expression's value in an environment.
+	Eval(env *Env) Value
+	// String renders the expression in parseable form.
+	String() string
+}
+
+// Parse compiles a ClassAd expression.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("classad: trailing input at %s", p.cur)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for static expressions.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+// binding powers for binary operators (Pratt parsing).
+var binPower = map[string]int{
+	"||": 10,
+	"&&": 20,
+	"==": 30, "!=": 30, "=?=": 30, "=!=": 30,
+	"<": 40, "<=": 40, ">": 40, ">=": 40,
+	"+": 50, "-": 50,
+	"*": 60, "/": 60, "%": 60,
+}
+
+func (p *parser) parseExpr(minPower int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokOp {
+		power, ok := binPower[p.cur.text]
+		if !ok || power < minPower {
+			break
+		}
+		op := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr(power + 1) // left-associative
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: op, lhs: left, rhs: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur.kind == tokOp {
+		switch p.cur.text {
+		case "!":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &unaryExpr{op: "!", operand: e}, nil
+		case "-":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &unaryExpr{op: "-", operand: e}, nil
+		case "+":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return p.parseUnary()
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.cur.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(p.cur.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad integer %q", p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &litExpr{v: Int(n)}, nil
+	case tokReal:
+		r, err := strconv.ParseFloat(p.cur.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad real %q", p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &litExpr{v: Real(r)}, nil
+	case tokString:
+		v := Str(p.cur.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &litExpr{v: v}, nil
+	case tokIdent:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch strings.ToUpper(name) {
+		case "TRUE":
+			return &litExpr{v: True}, nil
+		case "FALSE":
+			return &litExpr{v: False}, nil
+		case "UNDEFINED":
+			return &litExpr{v: Undefined}, nil
+		case "ERROR":
+			return &litExpr{v: ErrorVal}, nil
+		}
+		// Scoped reference: MY.attr / TARGET.attr / other.attr.
+		if p.cur.kind == tokOp && p.cur.text == "." {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.cur.kind != tokIdent {
+				return nil, fmt.Errorf("classad: expected attribute after %q., got %s", name, p.cur)
+			}
+			attrName := p.cur.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &refExpr{scope: name, name: attrName}, nil
+		}
+		// Function call.
+		if p.cur.kind == tokOp && p.cur.text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			if !(p.cur.kind == tokOp && p.cur.text == ")") {
+				for {
+					arg, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, arg)
+					if p.cur.kind == tokOp && p.cur.text == "," {
+						if err := p.advance(); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					break
+				}
+			}
+			if !(p.cur.kind == tokOp && p.cur.text == ")") {
+				return nil, fmt.Errorf("classad: expected ) in call to %s, got %s", name, p.cur)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			fn := strings.ToLower(name)
+			if _, ok := builtins[fn]; !ok {
+				return nil, fmt.Errorf("classad: unknown function %q", name)
+			}
+			return &callExpr{fn: fn, args: args}, nil
+		}
+		return &refExpr{name: name}, nil
+	case tokOp:
+		if p.cur.text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if !(p.cur.kind == tokOp && p.cur.text == ")") {
+				return nil, fmt.Errorf("classad: expected ), got %s", p.cur)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("classad: unexpected token %s", p.cur)
+}

@@ -1,0 +1,176 @@
+// Package classad implements a miniature ClassAd language — the
+// classified-advertisement mechanism Condor uses to describe jobs and
+// machines and to match them (paper §4.1: "the matchmaking algorithm
+// is responsible for locating compatible resource requests with
+// offers").
+//
+// A ClassAd is a set of attribute = expression bindings. Expressions
+// support integer, real, string and boolean literals, attribute
+// references (including MY.attr and TARGET.attr scopes), arithmetic,
+// comparison and boolean operators with C-like precedence, and a few
+// builtin functions. Evaluation is three-valued: references to missing
+// attributes yield Undefined, which propagates like ClassAd semantics
+// require (strict for arithmetic/comparison, non-strict for && and ||).
+//
+// Two ads match when each one's Requirements expression evaluates to
+// true with MY bound to itself and TARGET bound to the other. Rank
+// orders the compatible offers.
+package classad
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates runtime value types.
+type Kind int
+
+const (
+	// KindUndefined is the ClassAd undefined value (missing attribute).
+	KindUndefined Kind = iota
+	// KindError is the ClassAd error value (type mismatch, div by zero).
+	KindError
+	// KindBool is a boolean.
+	KindBool
+	// KindInt is a 64-bit integer.
+	KindInt
+	// KindReal is a float64.
+	KindReal
+	// KindString is a string.
+	KindString
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindError:
+		return "error"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "integer"
+	case KindReal:
+		return "real"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is a ClassAd runtime value.
+type Value struct {
+	Kind Kind
+	B    bool
+	I    int64
+	R    float64
+	S    string
+}
+
+// Convenience constructors.
+var (
+	// Undefined is the undefined value.
+	Undefined = Value{Kind: KindUndefined}
+	// ErrorVal is the error value.
+	ErrorVal = Value{Kind: KindError}
+	// True and False are the boolean constants.
+	True  = Value{Kind: KindBool, B: true}
+	False = Value{Kind: KindBool, B: false}
+)
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Real returns a real value.
+func Real(r float64) Value { return Value{Kind: KindReal, R: r} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// IsTrue reports whether the value is boolean true.
+func (v Value) IsTrue() bool { return v.Kind == KindBool && v.B }
+
+// Number returns the value as float64 and whether it is numeric.
+func (v Value) Number() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), true
+	case KindReal:
+		return v.R, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value in ClassAd syntax.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindUndefined:
+		return "UNDEFINED"
+	case KindError:
+		return "ERROR"
+	case KindBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindReal:
+		return strconv.FormatFloat(v.R, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.S)
+	default:
+		return "ERROR"
+	}
+}
+
+// Equal compares two values for the == operator: numerics compare
+// numerically across int/real; strings compare case-insensitively
+// (ClassAd convention); booleans directly. Mismatched types yield
+// false (the caller handles undefined/error propagation).
+func Equal(a, b Value) bool {
+	if an, ok := a.Number(); ok {
+		if bn, ok2 := b.Number(); ok2 {
+			return an == bn
+		}
+		return false
+	}
+	switch {
+	case a.Kind == KindString && b.Kind == KindString:
+		return foldEqual(a.S, b.S)
+	case a.Kind == KindBool && b.Kind == KindBool:
+		return a.B == b.B
+	default:
+		return false
+	}
+}
+
+func foldEqual(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

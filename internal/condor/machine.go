@@ -1,0 +1,227 @@
+package condor
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"tdp/internal/attrspace"
+	"tdp/internal/classad"
+	"tdp/internal/netsim"
+	"tdp/internal/procsim"
+)
+
+// MachineConfig describes an execute machine for the pool.
+type MachineConfig struct {
+	Name   string
+	Arch   string // e.g. "INTEL"
+	OpSys  string // e.g. "LINUX"
+	Memory int64  // MB
+	Cpus   int
+	// NetHost places the machine on a simulated network; nil uses real
+	// loopback TCP for its LASS.
+	NetHost *netsim.Host
+}
+
+// Machine is one execute node: its own procsim kernel ("the OS"), its
+// own LASS (paper: "each host on which an application process runs
+// has a local instance of the attribute space server"), a file store
+// for staged input/output, and a machine ClassAd for matchmaking.
+type Machine struct {
+	cfg    MachineConfig
+	kernel *procsim.Kernel
+	dial   attrspace.DialFunc
+	files  *FileStore
+	ad     *classad.Ad
+
+	mu       sync.Mutex
+	lass     *attrspace.Server
+	lassAddr string
+}
+
+// NewMachine boots an execute machine: starts its LASS and builds its
+// classad. Close the machine to release the server.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if cfg.Cpus == 0 {
+		cfg.Cpus = 1
+	}
+	m := &Machine{
+		cfg:    cfg,
+		kernel: procsim.NewKernel(),
+		files:  NewFileStore(),
+	}
+	m.lass = attrspace.NewServer()
+	if cfg.NetHost != nil {
+		l, err := cfg.NetHost.Listen(0)
+		if err != nil {
+			return nil, fmt.Errorf("condor: machine %s: %w", cfg.Name, err)
+		}
+		go m.lass.Serve(l)
+		m.lassAddr = l.Addr().String()
+		m.dial = func(addr string) (net.Conn, error) { return cfg.NetHost.Dial(addr) }
+	} else {
+		addr, err := m.lass.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("condor: machine %s: %w", cfg.Name, err)
+		}
+		m.lassAddr = addr
+		m.dial = nil // default TCP dial
+	}
+
+	ad := classad.NewAd()
+	ad.SetString("Name", cfg.Name)
+	ad.SetString("Arch", cfg.Arch)
+	ad.SetString("OpSys", cfg.OpSys)
+	ad.SetInt("Memory", cfg.Memory)
+	ad.SetInt("Cpus", int64(cfg.Cpus))
+	ad.SetString("State", "Unclaimed")
+	// Machines accept jobs whose image fits in memory; jobs without an
+	// ImageSize are admitted (undefined handled via isUndefined).
+	ad.SetExpr("Requirements", "isUndefined(TARGET.ImageSize) || TARGET.ImageSize <= (MY.Memory * 1024)")
+	m.ad = ad
+	return m, nil
+}
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.cfg.Name }
+
+// Kernel returns the machine's process kernel.
+func (m *Machine) Kernel() *procsim.Kernel { return m.kernel }
+
+// LASSAddr returns the address of the machine's local attribute space
+// server. The address is stable across LASS restarts.
+func (m *Machine) LASSAddr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lassAddr
+}
+
+// LASS returns the machine's attribute space server (for inspection in
+// tests and experiments).
+func (m *Machine) LASS() *attrspace.Server {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lass
+}
+
+// RestartLASS replaces a dead (or live) attribute space server with a
+// fresh one bound to the same address — what condor_master does when a
+// daemon it supervises dies. In-memory attribute state is lost, as
+// with any daemon restart; clients reconnect and repopulate.
+func (m *Machine) RestartLASS() error {
+	m.mu.Lock()
+	old := m.lass
+	addr := m.lassAddr
+	m.mu.Unlock()
+	old.Close()
+
+	srv := attrspace.NewServer()
+	if m.cfg.NetHost != nil {
+		_, port, err := netsim.SplitAddr(addr)
+		if err != nil {
+			return fmt.Errorf("condor: restart LASS: %w", err)
+		}
+		l, err := m.cfg.NetHost.Listen(port)
+		if err != nil {
+			return fmt.Errorf("condor: restart LASS: %w", err)
+		}
+		go srv.Serve(l)
+	} else {
+		if _, err := srv.ListenAndServe(addr); err != nil {
+			return fmt.Errorf("condor: restart LASS: %w", err)
+		}
+	}
+	m.mu.Lock()
+	m.lass = srv
+	m.mu.Unlock()
+	return nil
+}
+
+// Dial returns the dialer that reaches this machine's services (nil
+// means real TCP).
+func (m *Machine) Dial() attrspace.DialFunc { return m.dial }
+
+// Listen binds a new listener on this machine: on its simulated
+// network host when it has one, otherwise loopback TCP.
+func (m *Machine) Listen() (net.Listener, error) {
+	if m.cfg.NetHost != nil {
+		return m.cfg.NetHost.Listen(0)
+	}
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// Files returns the machine's staged file store.
+func (m *Machine) Files() *FileStore { return m.files }
+
+// Ad returns a snapshot of the machine's ClassAd.
+func (m *Machine) Ad() *classad.Ad { return m.ad.Clone() }
+
+// Close shuts down the machine's LASS.
+func (m *Machine) Close() { m.LASS().Close() }
+
+// FileStore is a tiny in-memory filesystem used to model file staging:
+// transfer_input_files moves bytes from the submit node's store to the
+// machine's store before the job starts, and tool output files move
+// back after it completes (§2's "tool daemon configuration and data
+// files").
+type FileStore struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewFileStore returns an empty store.
+func NewFileStore() *FileStore {
+	return &FileStore{files: make(map[string][]byte)}
+}
+
+// Write stores a file (replacing any previous content).
+func (fs *FileStore) Write(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.files[name] = cp
+}
+
+// Read returns a copy of a file's content.
+func (fs *FileStore) Read(name string) ([]byte, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[name]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true
+}
+
+// Exists reports whether the file is present.
+func (fs *FileStore) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Names returns the stored file names (unordered).
+func (fs *FileStore) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CopyTo transfers a file into another store; it reports whether the
+// source existed.
+func (fs *FileStore) CopyTo(dst *FileStore, name string) bool {
+	data, ok := fs.Read(name)
+	if !ok {
+		return false
+	}
+	dst.Write(name, data)
+	return true
+}

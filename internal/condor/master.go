@@ -1,0 +1,92 @@
+package condor
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdp/internal/attrspace"
+	"tdp/internal/trace"
+)
+
+// Master supervises a machine's daemons the way condor_master does
+// ("its job is to keep track of the other Condor daemons", §4.1): it
+// pings the machine's LASS and restarts it on the same address when it
+// dies. Together with the faults package (which detects the failure
+// and notifies other entities) this closes the fault-handling loop for
+// the AS entity class.
+type Master struct {
+	machine  *Machine
+	interval time.Duration
+	rec      *trace.Recorder
+
+	restarts atomic.Int64
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewMaster starts supervision of the machine's LASS; interval <= 0
+// defaults to 20ms.
+func NewMaster(machine *Machine, interval time.Duration, rec *trace.Recorder) *Master {
+	if interval <= 0 {
+		interval = 20 * time.Millisecond
+	}
+	m := &Master{machine: machine, interval: interval, rec: rec, stopCh: make(chan struct{})}
+	m.wg.Add(1)
+	go m.loop()
+	return m
+}
+
+func (m *Master) record(action, detail string) {
+	if m.rec != nil {
+		m.rec.Record("master", action, detail)
+	}
+}
+
+func (m *Master) loop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-ticker.C:
+			if m.ping() == nil {
+				continue
+			}
+			// Confirm once before restarting — a single failed dial
+			// can be transient.
+			if m.ping() == nil {
+				continue
+			}
+			m.record("daemon_died", "lass@"+m.machine.Name())
+			if err := m.machine.RestartLASS(); err != nil {
+				m.record("restart_failed", err.Error())
+				continue
+			}
+			m.restarts.Add(1)
+			m.record("daemon_restarted", "lass@"+m.machine.Name())
+		}
+	}
+}
+
+// ping performs one health probe of the LASS.
+func (m *Master) ping() error {
+	c, err := attrspace.Dial(m.machine.Dial(), m.machine.LASSAddr(), "master-probe")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Put("ping", "1")
+}
+
+// Restarts reports how many times the master restarted the LASS.
+func (m *Master) Restarts() int64 { return m.restarts.Load() }
+
+// Close stops supervision.
+func (m *Master) Close() {
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	m.wg.Wait()
+}

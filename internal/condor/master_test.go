@@ -1,0 +1,129 @@
+package condor
+
+import (
+	"testing"
+	"time"
+
+	"tdp/internal/attrspace"
+	"tdp/internal/netsim"
+	"tdp/internal/trace"
+)
+
+func waitRestart(t *testing.T, m *Master, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Restarts() < want && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if m.Restarts() < want {
+		t.Fatalf("restarts = %d, want >= %d", m.Restarts(), want)
+	}
+}
+
+func TestMasterRestartsDeadLASS(t *testing.T) {
+	rec := trace.New()
+	machine, err := NewMachine(MachineConfig{Name: "m", Arch: "INTEL", OpSys: "LINUX", Memory: 64})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	defer machine.Close()
+	master := NewMaster(machine, 5*time.Millisecond, rec)
+	defer master.Close()
+	addr := machine.LASSAddr()
+
+	// Healthy: no restarts.
+	time.Sleep(30 * time.Millisecond)
+	if master.Restarts() != 0 {
+		t.Fatalf("spurious restarts: %d", master.Restarts())
+	}
+
+	// Kill the daemon.
+	machine.LASS().Close()
+	waitRestart(t, master, 1)
+
+	// Same address, working again.
+	if machine.LASSAddr() != addr {
+		t.Errorf("address changed across restart: %q -> %q", addr, machine.LASSAddr())
+	}
+	c, err := attrspace.Dial(nil, addr, "after")
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
+	}
+	defer c.Close()
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("put after restart: %v", err)
+	}
+	if err := rec.CheckOrder("master:daemon_died", "master:daemon_restarted"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMasterOnSimulatedNetwork(t *testing.T) {
+	nw := netsim.New()
+	host := nw.AddHost("node1")
+	machine, err := NewMachine(MachineConfig{Name: "node1", Arch: "INTEL", OpSys: "LINUX", Memory: 64, NetHost: host})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	defer machine.Close()
+	master := NewMaster(machine, 5*time.Millisecond, nil)
+	defer master.Close()
+
+	machine.LASS().Close()
+	waitRestart(t, master, 1)
+	c, err := attrspace.Dial(machine.Dial(), machine.LASSAddr(), "after")
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
+	}
+	defer c.Close()
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("put after restart: %v", err)
+	}
+}
+
+func TestMasterCloseIdempotent(t *testing.T) {
+	machine, err := NewMachine(MachineConfig{Name: "m", Arch: "X", OpSys: "Y", Memory: 1})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	defer machine.Close()
+	master := NewMaster(machine, time.Millisecond, nil)
+	master.Close()
+	master.Close()
+}
+
+func TestJobSurvivesAcrossLASSRestart(t *testing.T) {
+	// A job that starts after the restart works normally: the restart
+	// is transparent to future jobs because the address is stable.
+	machine, err := NewMachine(MachineConfig{Name: "m1", Arch: "INTEL", OpSys: "LINUX", Memory: 128})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	pool := NewPool(PoolOptions{NegotiationTimeout: 2 * time.Second})
+	t.Cleanup(pool.Close)
+	// Adopt the machine into the pool manually.
+	sd := NewStartd(machine, pool.Registry(), nil)
+	pool.mu.Lock()
+	pool.machines["m1"] = machine
+	pool.startds["m1"] = sd
+	pool.mu.Unlock()
+	pool.mm.AdvertiseMachine("m1", machine.Ad())
+	registerTestPrograms(pool.Registry())
+
+	master := NewMaster(machine, 5*time.Millisecond, nil)
+	defer master.Close()
+	machine.LASS().Close()
+	waitRestart(t, master, 1)
+
+	jobs, err := pool.Submit("executable = exit7\nqueue\n")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := jobs[0].WaitExit(15 * time.Second)
+	if err != nil {
+		t.Fatalf("WaitExit after restart: %v", err)
+	}
+	if st.Code != 7 {
+		t.Errorf("exit = %v", st)
+	}
+}

@@ -1,0 +1,102 @@
+package condor
+
+import (
+	"fmt"
+	"sync"
+
+	"tdp/internal/procsim"
+	"tdp/internal/toolapi"
+)
+
+// Executable is a program available on the execute machines: the
+// simulator's stand-in for a binary on a shared filesystem or staged
+// with transfer_input_files. The factory receives the job arguments
+// and returns the program plus its symbol table.
+type Executable func(args []string) (procsim.Program, []string)
+
+// ToolEnv is the environment handed to a tool daemon factory; see
+// package toolapi, which defines the RM-neutral contract.
+type ToolEnv = toolapi.Env
+
+// Tool builds the tool daemon program from its environment and the
+// ToolDaemonArgs from the submit file. This is where paradynd (and the
+// other run-time tools) plug into the starter.
+type Tool = toolapi.Factory
+
+// Aux launches an auxiliary service next to the job (the §2 bullet:
+// "the RM must be aware of and willing to launch this second kind of
+// non-application entity").
+type Aux = toolapi.AuxFactory
+
+// Registry resolves executable and tool names on the execute machines.
+// One registry is shared by a pool — the analog of identical software
+// installations across the cluster.
+type Registry struct {
+	mu    sync.Mutex
+	progs map[string]Executable
+	tools map[string]Tool
+	auxes map[string]Aux
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		progs: make(map[string]Executable),
+		tools: make(map[string]Tool),
+		auxes: make(map[string]Aux),
+	}
+}
+
+// RegisterProgram installs an application executable by name.
+func (r *Registry) RegisterProgram(name string, e Executable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.progs[name] = e
+}
+
+// RegisterTool installs a run-time tool by name (ToolDaemonCmd value).
+func (r *Registry) RegisterTool(name string, t Tool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tools[name] = t
+}
+
+// Program resolves an executable name.
+func (r *Registry) Program(name string) (Executable, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.progs[name]
+	if !ok {
+		return nil, fmt.Errorf("condor: no such executable %q", name)
+	}
+	return e, nil
+}
+
+// Tool resolves a tool daemon name.
+func (r *Registry) Tool(name string) (Tool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tools[name]
+	if !ok {
+		return nil, fmt.Errorf("condor: no such tool daemon %q", name)
+	}
+	return t, nil
+}
+
+// RegisterAux installs an auxiliary service by name (AuxServiceCmd).
+func (r *Registry) RegisterAux(name string, a Aux) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.auxes[name] = a
+}
+
+// Aux resolves an auxiliary service name.
+func (r *Registry) Aux(name string) (Aux, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.auxes[name]
+	if !ok {
+		return nil, fmt.Errorf("condor: no such auxiliary service %q", name)
+	}
+	return a, nil
+}

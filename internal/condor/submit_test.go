@@ -1,0 +1,237 @@
+package condor
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// figure5B is the paper's example submit file, verbatim (including the
+// "tranfer_input_files" typo present in the paper).
+const figure5B = `universe = Vanilla
+executable = foo
+input = infile
+output = outfile
+arguments = 1 2 3
+transfer_files = always
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-zunix -l3 -mpinguino.cs.wisc.edu -p2090 -P2091 -a%pid"
++ToolDaemonOutput = "daemon.out"
++ToolDaemonError = "daemon.err"
+tranfer_input_files = paradynd
+queue
+`
+
+func TestParseFigure5B(t *testing.T) {
+	sf, err := ParseSubmit(figure5B)
+	if err != nil {
+		t.Fatalf("ParseSubmit: %v", err)
+	}
+	if sf.Universe != UniverseVanilla {
+		t.Errorf("universe = %v", sf.Universe)
+	}
+	if sf.Executable != "foo" || sf.Input != "infile" || sf.Output != "outfile" {
+		t.Errorf("exe/in/out = %q %q %q", sf.Executable, sf.Input, sf.Output)
+	}
+	if !reflect.DeepEqual(sf.Arguments, []string{"1", "2", "3"}) {
+		t.Errorf("arguments = %v", sf.Arguments)
+	}
+	if sf.TransferFiles != "always" {
+		t.Errorf("transfer_files = %q", sf.TransferFiles)
+	}
+	if !sf.SuspendJobAtExec {
+		t.Error("SuspendJobAtExec not parsed")
+	}
+	td := sf.ToolDaemon
+	if td == nil {
+		t.Fatal("ToolDaemon entries not parsed")
+	}
+	if td.Cmd != "paradynd" {
+		t.Errorf("ToolDaemonCmd = %q", td.Cmd)
+	}
+	wantArgs := []string{"-zunix", "-l3", "-mpinguino.cs.wisc.edu", "-p2090", "-P2091", "-a%pid"}
+	if !reflect.DeepEqual(td.Args, wantArgs) {
+		t.Errorf("ToolDaemonArgs = %v, want %v", td.Args, wantArgs)
+	}
+	if td.Output != "daemon.out" || td.Error != "daemon.err" {
+		t.Errorf("tool out/err = %q %q", td.Output, td.Error)
+	}
+	if !reflect.DeepEqual(sf.TransferInput, []string{"paradynd"}) {
+		t.Errorf("TransferInput = %v", sf.TransferInput)
+	}
+	if sf.Queue != 1 {
+		t.Errorf("Queue = %d", sf.Queue)
+	}
+}
+
+func TestParseSubmitErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no queue", "executable = foo\n"},
+		{"no executable", "queue\n"},
+		{"bad universe", "universe = globus\nexecutable = foo\nqueue\n"},
+		{"bad queue count", "executable = foo\nqueue zero\n"},
+		{"bad machine_count", "universe = MPI\nexecutable=x\nmachine_count = -3\nqueue\n"},
+		{"tool args without cmd", "executable=foo\n+ToolDaemonArgs = \"-x\"\nqueue\n"},
+		{"bad image_size", "executable=foo\nimage_size = big\nqueue\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSubmit(c.src); err == nil {
+			t.Errorf("%s: ParseSubmit succeeded", c.name)
+		}
+	}
+}
+
+func TestParseQueueVariants(t *testing.T) {
+	sf, err := ParseSubmit("executable = foo\nqueue 5\n")
+	if err != nil {
+		t.Fatalf("ParseSubmit: %v", err)
+	}
+	if sf.Queue != 5 {
+		t.Errorf("Queue = %d", sf.Queue)
+	}
+	sf, err = ParseSubmit("executable = foo\nqueue\nqueue 2\n")
+	if err != nil {
+		t.Fatalf("ParseSubmit: %v", err)
+	}
+	if sf.Queue != 3 {
+		t.Errorf("cumulative Queue = %d", sf.Queue)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+# this is a job
+executable = foo
+
+# with comments
+queue
+`
+	sf, err := ParseSubmit(src)
+	if err != nil {
+		t.Fatalf("ParseSubmit: %v", err)
+	}
+	if sf.Executable != "foo" {
+		t.Errorf("executable = %q", sf.Executable)
+	}
+}
+
+func TestParseExtraPlusAttrs(t *testing.T) {
+	sf, err := ParseSubmit("executable=foo\n+Project = \"tdp\"\nqueue\n")
+	if err != nil {
+		t.Fatalf("ParseSubmit: %v", err)
+	}
+	if sf.ExtraAttrs["Project"] != "tdp" {
+		t.Errorf("ExtraAttrs = %v", sf.ExtraAttrs)
+	}
+}
+
+func TestParseMPIUniverse(t *testing.T) {
+	sf, err := ParseSubmit("universe = MPI\nexecutable = ring\nmachine_count = 4\nqueue\n")
+	if err != nil {
+		t.Fatalf("ParseSubmit: %v", err)
+	}
+	if sf.Universe != UniverseMPI || sf.MachineCount != 4 {
+		t.Errorf("universe/count = %v/%d", sf.Universe, sf.MachineCount)
+	}
+	// MPI without machine_count defaults to 1.
+	sf, _ = ParseSubmit("universe = MPI\nexecutable = ring\nqueue\n")
+	if sf.MachineCount != 1 {
+		t.Errorf("default machine_count = %d", sf.MachineCount)
+	}
+}
+
+func TestParseRequirementsAndRank(t *testing.T) {
+	sf, err := ParseSubmit(`executable=foo
+requirements = Memory >= 64 && Arch == "INTEL"
+rank = Memory
+image_size = 2048
+queue
+`)
+	if err != nil {
+		t.Fatalf("ParseSubmit: %v", err)
+	}
+	if !strings.Contains(sf.Requirements, "Memory >= 64") {
+		t.Errorf("Requirements = %q", sf.Requirements)
+	}
+	if sf.Rank != "Memory" || sf.ImageSizeKB != 2048 {
+		t.Errorf("rank/image = %q/%d", sf.Rank, sf.ImageSizeKB)
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a b c", []string{"a", "b", "c"}},
+		{`a "b c" d`, []string{"a", "b c", "d"}},
+		{"", nil},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{`-zunix -l3 -a%pid`, []string{"-zunix", "-l3", "-a%pid"}},
+		{`quoted" mid"dle`, []string{"quoted middle"}},
+	}
+	for _, c := range cases {
+		if got := SplitArgs(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitArgs(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUniverseString(t *testing.T) {
+	if UniverseVanilla.String() != "Vanilla" || UniverseMPI.String() != "MPI" {
+		t.Error("universe strings wrong")
+	}
+	if Universe(9).String() != "universe(9)" {
+		t.Error("unknown universe string")
+	}
+}
+
+func TestJobStatusString(t *testing.T) {
+	want := map[JobStatus]string{
+		StatusIdle: "Idle", StatusMatched: "Matched", StatusRunning: "Running",
+		StatusCompleted: "Completed", StatusRemoved: "Removed", StatusHeld: "Held",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+	if JobStatus(42).String() != "status(42)" {
+		t.Error("unknown status string")
+	}
+}
+
+func TestFileStore(t *testing.T) {
+	fs := NewFileStore()
+	if fs.Exists("x") {
+		t.Error("Exists on empty store")
+	}
+	fs.Write("x", []byte("data"))
+	got, ok := fs.Read("x")
+	if !ok || string(got) != "data" {
+		t.Errorf("Read = %q, %v", got, ok)
+	}
+	// Mutating the returned slice must not alias the store.
+	got[0] = 'X'
+	again, _ := fs.Read("x")
+	if string(again) != "data" {
+		t.Error("Read aliases store")
+	}
+	other := NewFileStore()
+	if !fs.CopyTo(other, "x") {
+		t.Error("CopyTo failed")
+	}
+	if !other.Exists("x") {
+		t.Error("CopyTo did not copy")
+	}
+	if fs.CopyTo(other, "ghost") {
+		t.Error("CopyTo of missing file succeeded")
+	}
+	if n := len(fs.Names()); n != 1 {
+		t.Errorf("Names = %d entries", n)
+	}
+}

@@ -1,0 +1,114 @@
+package condor
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tdp/internal/procsim"
+)
+
+func TestSuspendResumeJob(t *testing.T) {
+	pool := newTestPool(t, 1, nil)
+	var executed atomic.Int64
+	registerCheckpointable(pool.Registry(), 100000, &executed)
+	jobs, err := pool.Submit("executable = ckpt\nqueue\n")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	j := jobs[0]
+	deadline := time.Now().Add(10 * time.Second)
+	for executed.Load() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := pool.Suspend(j); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	// No progress while suspended.
+	frozen := executed.Load()
+	time.Sleep(30 * time.Millisecond)
+	if got := executed.Load(); got != frozen {
+		t.Errorf("job progressed while suspended: %d -> %d", frozen, got)
+	}
+	if j.Status() != StatusRunning {
+		t.Errorf("queue status while suspended = %v (stays Running, like condor suspend)", j.Status())
+	}
+	if err := pool.Resume(j); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for executed.Load() == frozen && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if executed.Load() == frozen {
+		t.Fatal("job never resumed")
+	}
+	// Clean up: vacate (vanilla => fatal) and wait.
+	pool.Vacate(j)
+	j.WaitExit(30 * time.Second)
+}
+
+func TestSuspendTracedJobRefused(t *testing.T) {
+	// The RM cannot suspend a job whose tool holds control (§2.3's
+	// single-point-of-control); it must coordinate via attributes.
+	pool := newTestPool(t, 1, nil)
+	pool.Registry().RegisterProgram("long", func(args []string) (procsim.Program, []string) {
+		phases := []procsim.PhaseSpec{{Name: "work", Units: 50}}
+		return procsim.NewPhasedProgram(10000, phases), procsim.PhasedSymbols(phases)
+	})
+	registerTestTool(pool.Registry(), "tool")
+	jobs, err := pool.Submit(`executable = long
++SuspendJobAtExec = True
++ToolDaemonCmd = "tool"
+queue
+`)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	j := jobs[0]
+	// Wait until the job is running under the tool.
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Status() != StatusRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Wait until the tool has attached AND continued the app — only a
+	// running traced process exercises the contested-control path (a
+	// stopped one makes Suspend a trivial no-op).
+	var ap *procsim.Process
+	for time.Now().Before(deadline) {
+		for _, p := range pool.Machine("node1").Kernel().Processes() {
+			if p.Executable() == "long" && p.Tracer() != "" && p.State() == procsim.StateRunning {
+				ap = p
+			}
+		}
+		if ap != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ap == nil {
+		t.Fatal("tool never attached and continued the app")
+	}
+	err = pool.Suspend(j)
+	if err == nil {
+		t.Fatal("Suspend of a traced job succeeded")
+	}
+	if !strings.Contains(err.Error(), "attached") {
+		t.Errorf("err = %v", err)
+	}
+	// Clean up.
+	ap.Kill("")
+	j.WaitExit(30 * time.Second)
+}
+
+func TestSuspendErrorsWhenNotRunning(t *testing.T) {
+	pool := newTestPool(t, 1, nil)
+	j := newJob(5, &SubmitFile{Executable: "x"})
+	if err := pool.Suspend(j); err == nil {
+		t.Error("Suspend of unmatched job succeeded")
+	}
+	if err := pool.Resume(j); err == nil {
+		t.Error("Resume of unmatched job succeeded")
+	}
+}

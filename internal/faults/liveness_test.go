@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tdp/internal/procsim"
+)
+
+func TestLivenessDetectsHang(t *testing.T) {
+	k, s := newSupervisorT(t)
+	entered := make(chan struct{})
+	p, err := k.Spawn(procsim.Spec{
+		Executable: "hang", Program: procsim.NewHangingProgram(entered),
+	}, false)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	<-entered // the program is now wedged
+	if err := s.WatchLiveness(p.PID(), "hang", 5*time.Millisecond, 30*time.Millisecond); err != nil {
+		t.Fatalf("WatchLiveness: %v", err)
+	}
+	f := waitFault(t, s)
+	if f.Role != RoleApplication || f.PID != p.PID() {
+		t.Errorf("fault = %+v", f)
+	}
+	if f.Err == nil || !strings.Contains(f.Err.Error(), "hung") {
+		t.Errorf("fault err = %v", f.Err)
+	}
+	if !strings.Contains(f.String(), "hung") {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestLivenessHealthyProcessNoFault(t *testing.T) {
+	k, s := newSupervisorT(t)
+	p, err := k.Spawn(procsim.Spec{
+		Executable: "spin", Program: procsim.NewSpinnerProgram(), Symbols: procsim.StdSymbols,
+	}, false)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	defer p.Kill("")
+	if err := s.WatchLiveness(p.PID(), "spin", 5*time.Millisecond, 30*time.Millisecond); err != nil {
+		t.Fatalf("WatchLiveness: %v", err)
+	}
+	select {
+	case f := <-s.Faults():
+		t.Errorf("healthy process flagged: %v", f)
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func TestLivenessStoppedProcessIsNotAHang(t *testing.T) {
+	k, s := newSupervisorT(t)
+	p, err := k.Spawn(procsim.Spec{
+		Executable: "spin", Program: procsim.NewSpinnerProgram(), Symbols: procsim.StdSymbols,
+	}, false)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	defer p.Kill("")
+	p.Stop("")
+	if err := s.WatchLiveness(p.PID(), "spin", 5*time.Millisecond, 30*time.Millisecond); err != nil {
+		t.Fatalf("WatchLiveness: %v", err)
+	}
+	select {
+	case f := <-s.Faults():
+		t.Errorf("deliberately stopped process flagged: %v", f)
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func TestLivenessExitedProcessStopsWatch(t *testing.T) {
+	k, s := newSupervisorT(t)
+	p, _ := k.Spawn(procsim.Spec{Executable: "x", Program: procsim.NewExitingProgram(0)}, false)
+	p.WaitParent()
+	if err := s.WatchLiveness(p.PID(), "x", 5*time.Millisecond, 20*time.Millisecond); err != nil {
+		t.Fatalf("WatchLiveness: %v", err)
+	}
+	select {
+	case f := <-s.Faults():
+		t.Errorf("exited process flagged as hung: %v", f)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestLivenessUnknownPID(t *testing.T) {
+	_, s := newSupervisorT(t)
+	if err := s.WatchLiveness(procsim.PID(1), "ghost", time.Millisecond, time.Millisecond); err == nil {
+		t.Error("WatchLiveness of unknown pid succeeded")
+	}
+}

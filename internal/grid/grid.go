@@ -1,0 +1,265 @@
+// Package grid adds the Grid-computing layer the paper situates TDP
+// under (§1: systems "such as Globus or Legion ... provide additional
+// services for authentication, data staging, monitoring, and
+// scheduling. While these interfaces are crucial ... they offer
+// additional layers of interfaces and abstractions that must be
+// negotiated when trying to deploy a run-time tool in that
+// environment").
+//
+// A Gateway federates several sites (each an administrative domain
+// with its own Condor pool and access secret). Submitting through the
+// gateway exercises all four Grid services:
+//
+//   - authentication: the caller presents a credential previously
+//     granted for their identity (the proxy-certificate gesture);
+//   - scheduling (brokering): the gateway picks the authorized site
+//     with the most free machines that can run the job;
+//   - data staging: the request's input files are copied to the chosen
+//     site's submit machine before submission;
+//   - monitoring: the returned GridJob tracks status and brings output
+//     files (including tool daemon output) back to the caller.
+//
+// The point of the experiment built on this package: the TDP machinery
+// — create-paused, pid through the LASS, paradynd attach — runs
+// UNCHANGED beneath the extra layer. The tool does not know the job
+// arrived through a Grid.
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tdp/internal/condor"
+	"tdp/internal/procsim"
+)
+
+// Errors returned by the gateway.
+var (
+	ErrAuth    = errors.New("grid: authentication failed")
+	ErrNoSite  = errors.New("grid: no authorized site can run the job")
+	ErrNoQuota = errors.New("grid: user has no allocation at any site")
+)
+
+// Site is one administrative domain in the federation.
+type Site struct {
+	Name string
+	Pool *condor.Pool
+	// users authorized at this site (the gridmap file).
+	users map[string]bool
+}
+
+// Gateway is the Grid access point.
+type Gateway struct {
+	mu    sync.Mutex
+	sites map[string]*Site
+	creds map[string]string // user -> credential hash
+	seq   int
+}
+
+// NewGateway returns an empty federation.
+func NewGateway() *Gateway {
+	return &Gateway{
+		sites: make(map[string]*Site),
+		creds: make(map[string]string),
+	}
+}
+
+// AddSite registers a site and the users its gridmap authorizes.
+func (g *Gateway) AddSite(name string, pool *condor.Pool, authorizedUsers ...string) *Site {
+	s := &Site{Name: name, Pool: pool, users: make(map[string]bool)}
+	for _, u := range authorizedUsers {
+		s.users[u] = true
+	}
+	g.mu.Lock()
+	g.sites[name] = s
+	g.mu.Unlock()
+	return s
+}
+
+// hashCred derives the stored form of a credential.
+func hashCred(secret string) string {
+	sum := sha256.Sum256([]byte(secret))
+	return hex.EncodeToString(sum[:])
+}
+
+// GrantCredential issues a credential for a user (the proxy
+// certificate from `grid-proxy-init`). The secret itself never leaves
+// the caller; the gateway stores a hash.
+func (g *Gateway) GrantCredential(user, secret string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.creds[user] = hashCred(secret)
+}
+
+// RevokeCredential removes a user's credential.
+func (g *Gateway) RevokeCredential(user string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.creds, user)
+}
+
+func (g *Gateway) authenticate(user, secret string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	stored, ok := g.creds[user]
+	if !ok || stored != hashCred(secret) {
+		return fmt.Errorf("%w: user %q", ErrAuth, user)
+	}
+	return nil
+}
+
+// JobRequest is a Grid job submission.
+type JobRequest struct {
+	// Submit is the Condor submit description (the same Figure-5B
+	// dialect, TDP directives included).
+	Submit string
+	// InputFiles are staged to the chosen site's submit machine before
+	// the job is queued.
+	InputFiles map[string][]byte
+	// OutputFiles are fetched back from the site after completion
+	// (the job's output file and any ToolDaemonOutput files).
+	OutputFiles []string
+}
+
+// GridJob tracks one brokered job.
+type GridJob struct {
+	ID   int
+	User string
+	Site string
+	Job  *condor.Job
+
+	gateway *Gateway
+	request JobRequest
+
+	mu      sync.Mutex
+	outputs map[string][]byte
+}
+
+// Submit authenticates, brokers, stages, and queues a job. It returns
+// a GridJob for monitoring.
+func (g *Gateway) Submit(user, secret string, req JobRequest) (*GridJob, error) {
+	if err := g.authenticate(user, secret); err != nil {
+		return nil, err
+	}
+	sf, err := condor.ParseSubmit(req.Submit)
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+
+	site, err := g.broker(user, sf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Data staging: input files to the site's submit machine.
+	for name, data := range req.InputFiles {
+		site.Pool.SubmitFiles().Write(name, data)
+	}
+
+	jobs, err := site.Pool.SubmitParsed(sf)
+	if err != nil {
+		return nil, fmt.Errorf("grid: site %s: %w", site.Name, err)
+	}
+	g.mu.Lock()
+	g.seq++
+	id := g.seq
+	g.mu.Unlock()
+	return &GridJob{
+		ID: id, User: user, Site: site.Name, Job: jobs[0],
+		gateway: g, request: req,
+	}, nil
+}
+
+// broker picks the authorized site with the most free machines. Sites
+// where the user is not in the gridmap are skipped; ties break by
+// name for determinism.
+func (g *Gateway) broker(user string, sf *condor.SubmitFile) (*Site, error) {
+	g.mu.Lock()
+	sites := make([]*Site, 0, len(g.sites))
+	for _, s := range g.sites {
+		sites = append(sites, s)
+	}
+	g.mu.Unlock()
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Name < sites[j].Name })
+
+	authorized := 0
+	var best *Site
+	bestFree := -1
+	need := 1
+	if sf.Universe == condor.UniverseMPI {
+		need = sf.MachineCount
+	}
+	for _, s := range sites {
+		if !s.users[user] {
+			continue
+		}
+		authorized++
+		free := s.Pool.Matchmaker().FreeMachines()
+		if free >= need && free > bestFree {
+			best, bestFree = s, free
+		}
+	}
+	if authorized == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoQuota, user)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: need %d machine(s)", ErrNoSite, need)
+	}
+	return best, nil
+}
+
+// Wait blocks for the job and fetches the requested output files back
+// from the site — the staging-out half of data management.
+func (j *GridJob) Wait(timeout time.Duration) (procsim.ExitStatus, error) {
+	st, err := j.Job.WaitExit(timeout)
+	if err != nil {
+		return st, err
+	}
+	site := j.gateway.site(j.Site)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.outputs = make(map[string][]byte)
+	if site != nil {
+		for _, name := range j.request.OutputFiles {
+			if data, ok := site.Pool.SubmitFiles().Read(name); ok {
+				j.outputs[name] = data
+			}
+		}
+	}
+	return st, nil
+}
+
+// Output returns a staged-back output file after Wait.
+func (j *GridJob) Output(name string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, ok := j.outputs[name]
+	return data, ok
+}
+
+// Status reports the underlying queue status — the Grid monitoring
+// service's view.
+func (j *GridJob) Status() condor.JobStatus { return j.Job.Status() }
+
+func (g *Gateway) site(name string) *Site {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sites[name]
+}
+
+// Sites lists federation members, sorted.
+func (g *Gateway) Sites() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.sites))
+	for n := range g.sites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tdp/internal/condor"
+	"tdp/internal/paradyn"
+	"tdp/internal/procsim"
+)
+
+// newSitePool builds a pool with n machines and the science app +
+// paradynd registered.
+func newSitePool(t *testing.T, n int) *condor.Pool {
+	t.Helper()
+	pool := condor.NewPool(condor.PoolOptions{NegotiationTimeout: 3 * time.Second})
+	t.Cleanup(pool.Close)
+	for i := 0; i < n; i++ {
+		if _, err := pool.AddMachine(condor.MachineConfig{
+			Name: fmt.Sprintf("m%d", i), Arch: "INTEL", OpSys: "LINUX", Memory: 128,
+		}); err != nil {
+			t.Fatalf("AddMachine: %v", err)
+		}
+	}
+	pool.Registry().RegisterTool("paradynd", paradyn.Tool())
+	pool.Registry().RegisterProgram("science", func(args []string) (procsim.Program, []string) {
+		phases, prog := procsim.DefaultScienceApp(20)
+		return prog, procsim.PhasedSymbols(phases)
+	})
+	pool.Registry().RegisterProgram("echo", func(args []string) (procsim.Program, []string) {
+		return procsim.NewEchoProgram("> "), procsim.StdSymbols
+	})
+	return pool
+}
+
+func TestAuthenticationRequired(t *testing.T) {
+	g := NewGateway()
+	g.AddSite("siteA", newSitePool(t, 1), "alice")
+	g.GrantCredential("alice", "s3cret")
+
+	if _, err := g.Submit("alice", "wrong", JobRequest{Submit: "executable = science\nqueue\n"}); !errors.Is(err, ErrAuth) {
+		t.Errorf("wrong secret: %v", err)
+	}
+	if _, err := g.Submit("mallory", "s3cret", JobRequest{Submit: "executable = science\nqueue\n"}); !errors.Is(err, ErrAuth) {
+		t.Errorf("unknown user: %v", err)
+	}
+	g.RevokeCredential("alice")
+	if _, err := g.Submit("alice", "s3cret", JobRequest{Submit: "executable = science\nqueue\n"}); !errors.Is(err, ErrAuth) {
+		t.Errorf("revoked credential: %v", err)
+	}
+}
+
+func TestGridmapAuthorization(t *testing.T) {
+	g := NewGateway()
+	g.AddSite("siteA", newSitePool(t, 1), "alice") // bob not authorized
+	g.GrantCredential("bob", "pw")
+	_, err := g.Submit("bob", "pw", JobRequest{Submit: "executable = science\nqueue\n"})
+	if !errors.Is(err, ErrNoQuota) {
+		t.Errorf("err = %v, want ErrNoQuota", err)
+	}
+}
+
+func TestBrokerPicksSiteWithCapacity(t *testing.T) {
+	g := NewGateway()
+	g.AddSite("small", newSitePool(t, 1), "alice")
+	g.AddSite("big", newSitePool(t, 4), "alice")
+	g.GrantCredential("alice", "pw")
+
+	job, err := g.Submit("alice", "pw", JobRequest{Submit: "executable = science\nqueue\n"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if job.Site != "big" {
+		t.Errorf("brokered to %q, want big", job.Site)
+	}
+	if st, err := job.Wait(30 * time.Second); err != nil || st.Code != 0 {
+		t.Fatalf("Wait = %v, %v", st, err)
+	}
+	if job.Status() != condor.StatusCompleted {
+		t.Errorf("status = %v", job.Status())
+	}
+}
+
+func TestBrokerRespectsMPISize(t *testing.T) {
+	g := NewGateway()
+	g.AddSite("tiny", newSitePool(t, 1), "alice")
+	g.GrantCredential("alice", "pw")
+	_, err := g.Submit("alice", "pw", JobRequest{
+		Submit: "universe = MPI\nexecutable = science\nmachine_count = 3\nqueue\n",
+	})
+	if !errors.Is(err, ErrNoSite) {
+		t.Errorf("err = %v, want ErrNoSite", err)
+	}
+}
+
+func TestDataStagingBothWays(t *testing.T) {
+	g := NewGateway()
+	g.AddSite("siteA", newSitePool(t, 1), "alice")
+	g.GrantCredential("alice", "pw")
+
+	job, err := g.Submit("alice", "pw", JobRequest{
+		Submit:      "executable = echo\ninput = infile\noutput = outfile\nqueue\n",
+		InputFiles:  map[string][]byte{"infile": []byte("grid\nstaging\n")},
+		OutputFiles: []string{"outfile"},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st, err := job.Wait(30 * time.Second); err != nil || st.Code != 2 {
+		t.Fatalf("Wait = %v, %v", st, err)
+	}
+	out, ok := job.Output("outfile")
+	if !ok || string(out) != "> grid\n> staging\n" {
+		t.Errorf("outfile = %q, %v", out, ok)
+	}
+	if _, ok := job.Output("missing"); ok {
+		t.Error("phantom output file")
+	}
+}
+
+func TestBadSubmitRejected(t *testing.T) {
+	g := NewGateway()
+	g.AddSite("siteA", newSitePool(t, 1), "alice")
+	g.GrantCredential("alice", "pw")
+	if _, err := g.Submit("alice", "pw", JobRequest{Submit: "queue\n"}); err == nil {
+		t.Error("bad submit accepted")
+	}
+}
+
+// TestTDPUnderTheGridLayer is the experiment this package exists for
+// (E19): a tool-monitored job submitted through authentication,
+// brokering and staging still runs the unmodified TDP handshake — the
+// extra middleware layers the paper worries about do not require any
+// new tool porting.
+func TestTDPUnderTheGridLayer(t *testing.T) {
+	g := NewGateway()
+	g.AddSite("siteA", newSitePool(t, 2), "alice")
+	g.AddSite("siteB", newSitePool(t, 1), "alice")
+	g.GrantCredential("alice", "pw")
+
+	job, err := g.Submit("alice", "pw", JobRequest{
+		Submit: `executable = science
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-a%pid"
++ToolDaemonOutput = "daemon.out"
+queue
+`,
+		OutputFiles: []string{"daemon.out"},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := job.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.Code != 0 {
+		t.Errorf("exit = %v", st)
+	}
+	// The tool's profile came back through the Grid staging path.
+	data, ok := job.Output("daemon.out")
+	if !ok {
+		t.Fatal("daemon.out not staged back")
+	}
+	if !strings.Contains(string(data), "bottleneck: compute_forces") {
+		t.Errorf("daemon.out = %q", data)
+	}
+	if got := g.Sites(); len(got) != 2 || got[0] != "siteA" {
+		t.Errorf("Sites = %v", got)
+	}
+}

@@ -1,0 +1,206 @@
+// Package interop runs the m × n interoperability matrix that
+// quantifies the paper's central claim (§1): without TDP, m tools on n
+// resource managers require m × n porting efforts; with TDP, each side
+// is ported once (m + n) and every pairing works. This package pairs
+// the three resource managers (the Condor miniature, the fork RM, the
+// PBS-like queue RM) with the three run-time tools (paradynd, the
+// event tracer, the breakpoint debugger) — nine combinations driven
+// through identical, unmodified TDP code paths.
+package interop
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tdp/internal/condor"
+	"tdp/internal/paradyn"
+	"tdp/internal/procsim"
+	"tdp/internal/rmkit"
+	"tdp/internal/toolapi"
+	"tdp/internal/tools"
+)
+
+// Result is the outcome of one RM × tool pairing.
+type Result struct {
+	RM     string
+	Tool   string
+	OK     bool
+	Detail string // tool-produced evidence (first marker line)
+	Err    error
+}
+
+// String renders one matrix cell.
+func (r Result) String() string {
+	mark := "PASS"
+	if !r.OK {
+		mark = "FAIL"
+	}
+	s := fmt.Sprintf("%-8s × %-9s %s", r.RM, r.Tool, mark)
+	if r.Err != nil {
+		s += " (" + r.Err.Error() + ")"
+	}
+	return s
+}
+
+// toolCase describes one tool column of the matrix.
+type toolCase struct {
+	name    string
+	factory toolapi.Factory
+	args    []string
+	// marker must appear in the tool's output for the pairing to pass.
+	marker string
+}
+
+// RMNames lists the matrix rows.
+func RMNames() []string { return []string{"condor", "fork", "queue"} }
+
+// ToolNames lists the matrix columns.
+func ToolNames() []string { return []string{"paradynd", "tracer", "debugger"} }
+
+func toolCases() []toolCase {
+	return []toolCase{
+		{name: "paradynd", factory: paradyn.Tool(), args: []string{"-zunix", "-l3", "-a%pid"}, marker: "FUNCTION"},
+		{name: "tracer", factory: tools.Tracer(), args: nil, marker: "TRACE-END exit(0)"},
+		{name: "debugger", factory: tools.Debugger(), args: []string{"-bwork", "-n2"}, marker: "DEBUG-END breakpoint=work"},
+	}
+}
+
+// matrixApp is the application every pairing runs: a phased program
+// with a "work" function (the debugger's breakpoint target).
+func matrixApp() (procsim.Program, []string) {
+	phases := []procsim.PhaseSpec{{Name: "work", Units: 3}, {Name: "idle", Units: 1}}
+	return procsim.NewPhasedProgram(6, phases), procsim.PhasedSymbols(phases)
+}
+
+// RunMatrix executes all RM × tool pairings and returns one Result per
+// cell, condor rows first.
+func RunMatrix() []Result {
+	var out []Result
+	for _, tc := range toolCases() {
+		out = append(out, runCondor(tc))
+	}
+	for _, tc := range toolCases() {
+		out = append(out, runFork(tc))
+	}
+	for _, tc := range toolCases() {
+		out = append(out, runQueue(tc))
+	}
+	return out
+}
+
+func check(rm string, tc toolCase, toolOut string, exit procsim.ExitStatus, err error) Result {
+	r := Result{RM: rm, Tool: tc.name}
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if exit.Code != 0 || exit.Signaled() {
+		r.Err = fmt.Errorf("application exited %s", exit)
+		return r
+	}
+	if !strings.Contains(toolOut, tc.marker) {
+		r.Err = fmt.Errorf("tool output missing marker %q", tc.marker)
+		return r
+	}
+	for _, line := range strings.Split(toolOut, "\n") {
+		if strings.Contains(line, tc.marker) {
+			r.Detail = strings.TrimSpace(line)
+			break
+		}
+	}
+	r.OK = true
+	return r
+}
+
+func runCondor(tc toolCase) Result {
+	pool := condor.NewPool(condor.PoolOptions{NegotiationTimeout: 5 * time.Second, JobTimeout: 60 * time.Second})
+	defer pool.Close()
+	if _, err := pool.AddMachine(condor.MachineConfig{Name: "m1", Arch: "INTEL", OpSys: "LINUX", Memory: 128}); err != nil {
+		return Result{RM: "condor", Tool: tc.name, Err: err}
+	}
+	pool.Registry().RegisterProgram("app", func(args []string) (procsim.Program, []string) {
+		return matrixApp()
+	})
+	pool.Registry().RegisterTool(tc.name, tc.factory)
+	submit := fmt.Sprintf(`executable = app
++SuspendJobAtExec = True
++ToolDaemonCmd = "%s"
++ToolDaemonArgs = "%s"
++ToolDaemonOutput = "tool.out"
+queue
+`, tc.name, strings.Join(tc.args, " "))
+	jobs, err := pool.Submit(submit)
+	if err != nil {
+		return Result{RM: "condor", Tool: tc.name, Err: err}
+	}
+	exit, err := jobs[0].WaitExit(60 * time.Second)
+	return check("condor", tc, jobs[0].ToolOutput(), exit, err)
+}
+
+func runFork(tc toolCase) Result {
+	rm, err := rmkit.NewForkRM(nil)
+	if err != nil {
+		return Result{RM: "fork", Tool: tc.name, Err: err}
+	}
+	defer rm.Close()
+	prog, syms := matrixApp()
+	var toolOut strings.Builder
+	exit, err := rm.Run(rmkit.JobSpec{
+		Name: "app", Program: prog, Symbols: syms,
+		Tool: tc.factory, ToolArgs: tc.args, ToolOut: &toolOut,
+		Timeout: 60 * time.Second,
+	})
+	return check("fork", tc, toolOut.String(), exit, err)
+}
+
+func runQueue(tc toolCase) Result {
+	rm, err := rmkit.NewQueueRM(1, nil)
+	if err != nil {
+		return Result{RM: "queue", Tool: tc.name, Err: err}
+	}
+	defer rm.Close()
+	prog, syms := matrixApp()
+	var toolOut strings.Builder
+	qj, err := rm.Enqueue(rmkit.JobSpec{
+		Name: "app", Program: prog, Symbols: syms,
+		Tool: tc.factory, ToolArgs: tc.args, ToolOut: &toolOut,
+		Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		return Result{RM: "queue", Tool: tc.name, Err: err}
+	}
+	exit, err := qj.Wait(60 * time.Second)
+	return check("queue", tc, toolOut.String(), exit, err)
+}
+
+// FormatMatrix renders results as the m × n grid.
+func FormatMatrix(results []Result) string {
+	cell := make(map[string]Result)
+	for _, r := range results {
+		cell[r.RM+"/"+r.Tool] = r
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s", "RM\\Tool")
+	for _, t := range ToolNames() {
+		fmt.Fprintf(&sb, " %-10s", t)
+	}
+	sb.WriteByte('\n')
+	for _, rm := range RMNames() {
+		fmt.Fprintf(&sb, "%-10s", rm)
+		for _, t := range ToolNames() {
+			r, ok := cell[rm+"/"+t]
+			mark := "-"
+			if ok {
+				if r.OK {
+					mark = "PASS"
+				} else {
+					mark = "FAIL"
+				}
+			}
+			fmt.Fprintf(&sb, " %-10s", mark)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,43 @@
+package interop
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInteropMatrix is the paper's m + n demonstration (experiment E9
+// in DESIGN.md): every resource manager runs every tool through
+// unmodified TDP code. All nine pairings must pass.
+func TestInteropMatrix(t *testing.T) {
+	results := RunMatrix()
+	if len(results) != len(RMNames())*len(ToolNames()) {
+		t.Fatalf("results = %d cells, want %d", len(results), len(RMNames())*len(ToolNames()))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("pairing failed: %s", r)
+		}
+	}
+	grid := FormatMatrix(results)
+	t.Logf("\n%s", grid)
+	if strings.Count(grid, "PASS") != 9 {
+		t.Errorf("grid does not show 9 passes:\n%s", grid)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{RM: "fork", Tool: "tracer", OK: true}
+	if !strings.Contains(r.String(), "PASS") {
+		t.Errorf("String = %q", r.String())
+	}
+	r = Result{RM: "fork", Tool: "tracer", Err: errFake}
+	if !strings.Contains(r.String(), "FAIL") || !strings.Contains(r.String(), "boom") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+var errFake = errFakeType{}
+
+type errFakeType struct{}
+
+func (errFakeType) Error() string { return "boom" }

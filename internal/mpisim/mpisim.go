@@ -1,0 +1,221 @@
+// Package mpisim provides a miniature MPI runtime for the simulated
+// process substrate, sufficient to reproduce the paper's MPI-universe
+// experiment (§4.3): a job of N ranks where rank 0 (the "master
+// process" in MPICH ch_p4 terms) starts first, each rank gets its own
+// paradynd attached before execution, and ranks synchronize with
+// barriers and point-to-point sends.
+//
+// A World is the per-job communicator. Worlds are registered in a
+// package table under a unique id so rank programs — created
+// independently on each simulated machine — can find their
+// communicator from an argv flag, the way real MPICH ch_p4 processes
+// find each other from the procgroup file.
+package mpisim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tdp/internal/procsim"
+)
+
+// ErrNoWorld is returned when a rank references an unregistered world.
+var ErrNoWorld = errors.New("mpisim: no such world")
+
+// World is one MPI job's communicator.
+type World struct {
+	id   string
+	size int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int // barrier bookkeeping
+	epoch   int
+	boxes   []chan message // one mailbox per rank
+	started []bool
+}
+
+type message struct {
+	from    int
+	tag     int
+	payload string
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(id string, size int) *World {
+	w := &World{id: id, size: size, boxes: make([]chan message, size), started: make([]bool, size)}
+	w.cond = sync.NewCond(&w.mu)
+	for i := range w.boxes {
+		w.boxes[i] = make(chan message, 64)
+	}
+	return w
+}
+
+// ID returns the world's registry id.
+func (w *World) ID() string { return w.id }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// markStarted records that a rank entered the world.
+func (w *World) markStarted(rank int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rank >= 0 && rank < w.size {
+		w.started[rank] = true
+	}
+}
+
+// StartedRanks returns how many ranks have entered.
+func (w *World) StartedRanks() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, s := range w.started {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// Barrier blocks until all ranks have called it (per epoch).
+func (w *World) Barrier() {
+	w.mu.Lock()
+	epoch := w.epoch
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.epoch++
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return
+	}
+	for epoch == w.epoch {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// Send delivers a message to a rank's mailbox (buffered, asynchronous).
+func (w *World) Send(from, to, tag int, payload string) error {
+	if to < 0 || to >= w.size {
+		return fmt.Errorf("mpisim: send to invalid rank %d", to)
+	}
+	w.boxes[to] <- message{from: from, tag: tag, payload: payload}
+	return nil
+}
+
+// Recv blocks for the next message addressed to rank and returns its
+// source, tag and payload.
+func (w *World) Recv(rank int) (from, tag int, payload string, err error) {
+	if rank < 0 || rank >= w.size {
+		return 0, 0, "", fmt.Errorf("mpisim: recv on invalid rank %d", rank)
+	}
+	m := <-w.boxes[rank]
+	return m.from, m.tag, m.payload, nil
+}
+
+// registry of live worlds.
+var (
+	regMu  sync.Mutex
+	worlds = make(map[string]*World)
+	nextID int
+)
+
+// Register creates and registers a world with a fresh id.
+func Register(size int) *World {
+	regMu.Lock()
+	defer regMu.Unlock()
+	nextID++
+	id := "world-" + strconv.Itoa(nextID)
+	w := NewWorld(id, size)
+	worlds[id] = w
+	return w
+}
+
+// Lookup finds a registered world.
+func Lookup(id string) (*World, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	w, ok := worlds[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoWorld, id)
+	}
+	return w, nil
+}
+
+// Unregister removes a world when its job completes.
+func Unregister(id string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(worlds, id)
+}
+
+// RankArgs appends the MPI bootstrap flags a starter passes to a rank
+// program's argv.
+func RankArgs(args []string, worldID string) []string {
+	return append(append([]string(nil), args...), "--mpi-world="+worldID)
+}
+
+// ParseRankArgs extracts --mpi-rank, --mpi-size and --mpi-world from
+// argv (the flags added by the MPI shadow and starter).
+func ParseRankArgs(args []string) (rank, size int, worldID string) {
+	size = 1
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "--mpi-rank="):
+			rank, _ = strconv.Atoi(a[len("--mpi-rank="):])
+		case strings.HasPrefix(a, "--mpi-size="):
+			size, _ = strconv.Atoi(a[len("--mpi-size="):])
+		case strings.HasPrefix(a, "--mpi-world="):
+			worldID = a[len("--mpi-world="):]
+		}
+	}
+	return rank, size, worldID
+}
+
+// NewRingProgram returns the canonical MPI test program: each rank
+// joins its world, all ranks barrier, then a token travels the ring
+// 0 → 1 → … → N-1 → 0, then a final barrier. Rank 0 exits with the
+// number of hops the token made; other ranks exit 0. Each rank
+// performs instrumentable work in "compute" between steps.
+func NewRingProgram() procsim.Program {
+	return procsim.ProgramFunc(func(ctx *procsim.ProcContext) int {
+		rank, size, worldID := ParseRankArgs(ctx.Args())
+		w, err := Lookup(worldID)
+		if err != nil {
+			fmt.Fprintf(ctx.Stderr(), "rank %d: %v\n", rank, err)
+			return 1
+		}
+		w.markStarted(rank)
+		ret := 0
+		ctx.Call("main", func() {
+			ctx.Call("compute", func() { ctx.Compute(5) })
+			w.Barrier()
+			if size == 1 {
+				return
+			}
+			if rank == 0 {
+				w.Send(0, 1, 1, "token:0")
+				_, _, payload, _ := w.Recv(0)
+				hops, _ := strconv.Atoi(strings.TrimPrefix(payload, "token:"))
+				ret = hops
+			} else {
+				_, _, payload, _ := w.Recv(rank)
+				hops, _ := strconv.Atoi(strings.TrimPrefix(payload, "token:"))
+				next := (rank + 1) % size
+				w.Send(rank, next, 1, "token:"+strconv.Itoa(hops+1))
+			}
+			ctx.Call("compute", func() { ctx.Compute(5) })
+			w.Barrier()
+		})
+		return ret
+	})
+}
+
+// RingSymbols is the symbol table for NewRingProgram.
+var RingSymbols = []string{"main", "compute"}

@@ -1,0 +1,232 @@
+package mpisim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tdp/internal/procsim"
+)
+
+func TestBarrierReleasesAllRanks(t *testing.T) {
+	w := NewWorld("w", 4)
+	var wg sync.WaitGroup
+	var after sync.WaitGroup
+	released := make(chan int, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		after.Add(1)
+		go func(r int) {
+			defer after.Done()
+			wg.Done()
+			w.Barrier()
+			released <- r
+		}(r)
+	}
+	wg.Wait()
+	after.Wait()
+	if len(released) != 4 {
+		t.Fatalf("released = %d", len(released))
+	}
+}
+
+func TestBarrierBlocksUntilLast(t *testing.T) {
+	w := NewWorld("w", 2)
+	done := make(chan struct{})
+	go func() {
+		w.Barrier()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("barrier released with one of two ranks")
+	case <-time.After(30 * time.Millisecond):
+	}
+	w.Barrier()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier never released")
+	}
+}
+
+func TestBarrierMultipleEpochs(t *testing.T) {
+	w := NewWorld("w", 3)
+	const rounds = 5
+	var wg sync.WaitGroup
+	counts := make([]int, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				w.Barrier()
+				counts[r]++
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, c := range counts {
+		if c != rounds {
+			t.Errorf("rank %d completed %d rounds", r, c)
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld("w", 2)
+	if err := w.Send(0, 1, 7, "hello"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	from, tag, payload, err := w.Recv(1)
+	if err != nil || from != 0 || tag != 7 || payload != "hello" {
+		t.Errorf("Recv = %d %d %q %v", from, tag, payload, err)
+	}
+}
+
+func TestSendRecvInvalidRank(t *testing.T) {
+	w := NewWorld("w", 2)
+	if err := w.Send(0, 5, 0, "x"); err == nil {
+		t.Error("Send to rank 5 succeeded")
+	}
+	if err := w.Send(0, -1, 0, "x"); err == nil {
+		t.Error("Send to rank -1 succeeded")
+	}
+	if _, _, _, err := w.Recv(9); err == nil {
+		t.Error("Recv on rank 9 succeeded")
+	}
+}
+
+func TestMessageOrderPerSender(t *testing.T) {
+	w := NewWorld("w", 2)
+	for i := 0; i < 50; i++ {
+		w.Send(0, 1, i, fmt.Sprintf("m%d", i))
+	}
+	for i := 0; i < 50; i++ {
+		_, tag, _, err := w.Recv(1)
+		if err != nil || tag != i {
+			t.Fatalf("message %d: tag %d, %v", i, tag, err)
+		}
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	w1 := Register(2)
+	w2 := Register(3)
+	if w1.ID() == w2.ID() {
+		t.Error("duplicate world ids")
+	}
+	got, err := Lookup(w1.ID())
+	if err != nil || got != w1 {
+		t.Fatalf("Lookup: %v", err)
+	}
+	Unregister(w1.ID())
+	if _, err := Lookup(w1.ID()); err == nil {
+		t.Error("Lookup after Unregister succeeded")
+	}
+	Unregister(w2.ID())
+	Unregister(w2.ID()) // idempotent
+}
+
+func TestRingProgramStandalone(t *testing.T) {
+	// Run the ring program directly on a kernel, one process per rank.
+	const n = 4
+	w := Register(n)
+	defer Unregister(w.ID())
+	k := procsim.NewKernel()
+	procs := make([]*procsim.Process, n)
+	for r := 0; r < n; r++ {
+		args := RankArgs(nil, w.ID())
+		args = append(args, fmt.Sprintf("--mpi-rank=%d", r), fmt.Sprintf("--mpi-size=%d", n))
+		p, err := k.Spawn(procsim.Spec{
+			Executable: "ring", Args: args, Program: NewRingProgram(), Symbols: RingSymbols,
+		}, false)
+		if err != nil {
+			t.Fatalf("spawn rank %d: %v", r, err)
+		}
+		procs[r] = p
+	}
+	for r, p := range procs {
+		st, err := p.WaitParent()
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		want := 0
+		if r == 0 {
+			want = n - 1 // hops
+		}
+		if st.Code != want {
+			t.Errorf("rank %d exit = %v, want %d", r, st, want)
+		}
+	}
+	if w.StartedRanks() != n {
+		t.Errorf("StartedRanks = %d", w.StartedRanks())
+	}
+}
+
+func TestRingProgramBadWorld(t *testing.T) {
+	k := procsim.NewKernel()
+	var errBuf strings.Builder
+	p, err := k.Spawn(procsim.Spec{
+		Executable: "ring", Args: []string{"--mpi-world=ghost"},
+		Program: NewRingProgram(), Symbols: RingSymbols, Stderr: &errBuf,
+	}, false)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	st, _ := p.WaitParent()
+	if st.Code != 1 {
+		t.Errorf("exit = %v, want 1", st)
+	}
+	if !strings.Contains(errBuf.String(), "no such world") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestSingleRankRing(t *testing.T) {
+	w := Register(1)
+	defer Unregister(w.ID())
+	k := procsim.NewKernel()
+	args := append(RankArgs(nil, w.ID()), "--mpi-rank=0", "--mpi-size=1")
+	p, _ := k.Spawn(procsim.Spec{Executable: "ring", Args: args, Program: NewRingProgram(), Symbols: RingSymbols}, false)
+	st, err := p.WaitParent()
+	if err != nil || st.Code != 0 {
+		t.Errorf("single-rank ring = %v, %v", st, err)
+	}
+}
+
+// Property: a token ring of any size 2..8 makes exactly size-1 hops.
+func TestQuickRingHops(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%7) + 2
+		w := Register(n)
+		defer Unregister(w.ID())
+		k := procsim.NewKernel()
+		procs := make([]*procsim.Process, n)
+		for r := 0; r < n; r++ {
+			args := append(RankArgs(nil, w.ID()),
+				fmt.Sprintf("--mpi-rank=%d", r), fmt.Sprintf("--mpi-size=%d", n))
+			p, err := k.Spawn(procsim.Spec{Executable: "ring", Args: args, Program: NewRingProgram(), Symbols: RingSymbols}, false)
+			if err != nil {
+				return false
+			}
+			procs[r] = p
+		}
+		st, err := procs[0].WaitParent()
+		if err != nil || st.Code != n-1 {
+			return false
+		}
+		for _, p := range procs[1:] {
+			if st, err := p.WaitParent(); err != nil || st.Code != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,488 @@
+// Package mrnet implements a software multicast/reduction network for
+// scalable tools — the auxiliary-service kind the paper requires the
+// resource manager to be able to launch ("software multicast/reduction
+// networks are crucial to scalable tool use", §2, citing MRNet). With
+// hundreds of daemons, a front-end cannot hold one connection per
+// daemon; a tree of internal nodes multicasts control downstream and
+// reduces data upstream.
+//
+// A Node interposes transparently on the paradyn front-end protocol:
+//
+//   - downstream it acts like a front-end: accepts daemon REGISTER
+//     messages, forwards the RUN command, receives SAMPLE/DONE;
+//   - upstream it acts like a single daemon: registers itself as an
+//     aggregate, forwards reduced samples, and reports DONE when every
+//     child is done.
+//
+// Reduction sums per-function call counts and times across children —
+// exactly the merge the front-end would do, moved into the tree.
+// Nodes compose: a node's parent may be another node, forming trees of
+// any fan-in and depth.
+package mrnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"tdp/internal/paradyn"
+	"tdp/internal/toolapi"
+	"tdp/internal/wire"
+)
+
+// DialFunc opens the upstream connection (to the parent node or the
+// real front-end).
+type DialFunc func(addr string) (net.Conn, error)
+
+// Config parameterizes a Node.
+type Config struct {
+	// Name identifies this node in its upstream registration.
+	Name string
+	// Listener accepts downstream (daemon or child-node) connections.
+	Listener net.Listener
+	// ParentAddr is the upstream address (front-end or parent node).
+	ParentAddr string
+	// Dial opens the upstream connection; nil uses TCP.
+	Dial DialFunc
+	// FlushInterval is how often reduced samples flow upstream.
+	// Zero means 5ms.
+	FlushInterval time.Duration
+	// ExpectedChildren, when > 0, delays the upstream REGISTER until
+	// that many children have registered, so the aggregate announces
+	// itself once, completely. Zero registers upstream immediately.
+	ExpectedChildren int
+}
+
+// Node is one process of the reduction network.
+type Node struct {
+	cfg Config
+
+	mu          sync.Mutex
+	up          *wire.Conn
+	children    map[string]*childState
+	totals      map[string]paradyn.FuncStats
+	doneCount   int
+	exitAgg     string
+	closed      bool
+	ranSent     bool
+	runRecvd    bool
+	upReady     chan struct{}
+	sessionDone chan struct{}
+	wg          sync.WaitGroup
+}
+
+type childState struct {
+	name string
+	conn *wire.Conn
+	// latest per-function sample from this child; reduction recomputes
+	// totals from the latest value of every child, so repeated samples
+	// do not double-count.
+	latest map[string]paradyn.FuncStats
+	done   bool
+}
+
+// ErrNoParent is returned when the node cannot reach its parent.
+var ErrNoParent = errors.New("mrnet: cannot reach parent")
+
+// NewNode starts a node. It begins accepting children immediately and
+// connects upstream (immediately, or after ExpectedChildren register).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Listener == nil {
+		return nil, errors.New("mrnet: Config.Listener is required")
+	}
+	if cfg.ParentAddr == "" {
+		return nil, errors.New("mrnet: Config.ParentAddr is required")
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 5 * time.Millisecond
+	}
+	if cfg.Name == "" {
+		cfg.Name = "mrnet-node"
+	}
+	n := &Node{
+		cfg:         cfg,
+		children:    make(map[string]*childState),
+		totals:      make(map[string]paradyn.FuncStats),
+		upReady:     make(chan struct{}),
+		sessionDone: make(chan struct{}),
+	}
+	if cfg.ExpectedChildren <= 0 {
+		if err := n.connectUpstream(); err != nil {
+			cfg.Listener.Close()
+			return nil, err
+		}
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.flushLoop()
+	return n, nil
+}
+
+// Addr returns the address daemons (or child nodes) should dial.
+func (n *Node) Addr() string { return n.cfg.Listener.Addr().String() }
+
+func (n *Node) connectUpstream() error {
+	raw, err := n.cfg.Dial(n.cfg.ParentAddr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoParent, err)
+	}
+	up := wire.NewConn(raw)
+	n.mu.Lock()
+	children := len(n.children)
+	n.up = up
+	n.mu.Unlock()
+	reg := wire.NewMessage("REGISTER").
+		Set("daemon", n.cfg.Name).
+		Set("host", "mrnet").
+		Set("executable", fmt.Sprintf("aggregate(%d children)", children)).
+		SetInt("pid", 0).
+		SetInt("rank", 0)
+	if err := up.Send(reg); err != nil {
+		return err
+	}
+	close(n.upReady)
+	// Upstream RUN handling: multicast to children.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			m, err := up.Recv()
+			if err != nil {
+				return
+			}
+			if m.Verb == "RUN" {
+				n.multicastRun()
+			}
+		}
+	}()
+	return nil
+}
+
+// multicastRun forwards the front-end's RUN to every child, including
+// children that register later.
+func (n *Node) multicastRun() {
+	n.mu.Lock()
+	n.runRecvd = true
+	conns := make([]*wire.Conn, 0, len(n.children))
+	for _, c := range n.children {
+		conns = append(conns, c.conn)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Send(wire.NewMessage("RUN"))
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.cfg.Listener.Accept()
+		if err != nil {
+			return
+		}
+		go n.handleChild(c)
+	}
+}
+
+func (n *Node) handleChild(raw net.Conn) {
+	wc := wire.NewConn(raw)
+	reg, err := wc.Recv()
+	if err != nil || reg.Verb != "REGISTER" {
+		raw.Close()
+		return
+	}
+	child := &childState{
+		name:   reg.Get("daemon"),
+		conn:   wc,
+		latest: make(map[string]paradyn.FuncStats),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		raw.Close()
+		return
+	}
+	n.children[child.name] = child
+	count := len(n.children)
+	runAlready := n.runRecvd
+	needUpstream := n.up == nil && n.cfg.ExpectedChildren > 0 && count >= n.cfg.ExpectedChildren
+	n.mu.Unlock()
+
+	if needUpstream {
+		if err := n.connectUpstream(); err != nil {
+			raw.Close()
+			return
+		}
+	}
+	if runAlready {
+		wc.Send(wire.NewMessage("RUN"))
+	}
+
+	for {
+		m, err := wc.Recv()
+		if err != nil {
+			raw.Close()
+			return
+		}
+		switch m.Verb {
+		case "SAMPLE":
+			calls, _ := strconv.ParseInt(m.Get("calls"), 10, 64)
+			us, _ := strconv.ParseInt(m.Get("time_us"), 10, 64)
+			n.mu.Lock()
+			child.latest[m.Get("fn")] = paradyn.FuncStats{Calls: calls, TimeMicros: us}
+			n.mu.Unlock()
+		case "DONE":
+			n.mu.Lock()
+			if !child.done {
+				child.done = true
+				n.doneCount++
+				if n.exitAgg == "" {
+					n.exitAgg = m.Get("status")
+				} else if m.Get("status") != n.exitAgg {
+					n.exitAgg = "mixed"
+				}
+			}
+			allDone := n.cfg.ExpectedChildren > 0 && n.doneCount >= n.cfg.ExpectedChildren
+			n.mu.Unlock()
+			if allDone {
+				n.flush()
+				n.sendDone()
+			}
+		}
+	}
+}
+
+// reduce recomputes per-function totals from every child's latest
+// sample.
+func (n *Node) reduce() map[string]paradyn.FuncStats {
+	totals := make(map[string]paradyn.FuncStats)
+	for _, c := range n.children {
+		for fn, s := range c.latest {
+			t := totals[fn]
+			t.Calls += s.Calls
+			t.TimeMicros += s.TimeMicros
+			totals[fn] = t
+		}
+	}
+	return totals
+}
+
+func (n *Node) flushLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.FlushInterval)
+	defer ticker.Stop()
+	for range ticker.C {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		n.flush()
+	}
+}
+
+// flush sends upstream any function whose reduced value changed.
+func (n *Node) flush() {
+	n.mu.Lock()
+	up := n.up
+	if up == nil || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	reduced := n.reduce()
+	var dirty []string
+	for fn, s := range reduced {
+		if n.totals[fn] != s {
+			n.totals[fn] = s
+			dirty = append(dirty, fn)
+		}
+	}
+	n.mu.Unlock()
+	sort.Strings(dirty)
+	for _, fn := range dirty {
+		s := reduced[fn]
+		up.Send(wire.NewMessage("SAMPLE").
+			Set("fn", fn).
+			Set("calls", strconv.FormatInt(s.Calls, 10)).
+			Set("time_us", strconv.FormatInt(s.TimeMicros, 10)))
+	}
+}
+
+func (n *Node) sendDone() {
+	n.mu.Lock()
+	up := n.up
+	status := n.exitAgg
+	done := n.ranSent
+	n.ranSent = true
+	n.mu.Unlock()
+	if up == nil || done {
+		return
+	}
+	up.Send(wire.NewMessage("DONE").Set("status", status))
+	close(n.sessionDone)
+}
+
+// SessionDone returns a channel closed once every expected child has
+// reported DONE and the aggregate DONE has been written upstream. Use
+// it to shut the node down without racing the final flush.
+func (n *Node) SessionDone() <-chan struct{} { return n.sessionDone }
+
+// ChildCount reports registered children.
+func (n *Node) ChildCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.children)
+}
+
+// DoneCount reports children that sent DONE.
+func (n *Node) DoneCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.doneCount
+}
+
+// Close tears the node down (children and upstream).
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	children := make([]*childState, 0, len(n.children))
+	for _, c := range n.children {
+		children = append(children, c)
+	}
+	up := n.up
+	n.mu.Unlock()
+	n.cfg.Listener.Close()
+	for _, c := range children {
+		c.conn.Close()
+	}
+	if up != nil {
+		up.Close()
+	}
+}
+
+// AuxService adapts a single reduction node to the RM auxiliary
+// service interface (toolapi.AuxFactory): the resource manager's
+// starter launches it with the front-end address as the parent, and
+// the tool daemon is given the node's address instead — transparent
+// interposition. fanIn is how many daemons the node waits for before
+// registering upstream and how many DONEs complete the session (1 for
+// a sequential job's single daemon).
+func AuxService(fanIn int) func(env toolapi.Env, args []string, parentAddr string) (string, func(), error) {
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	return func(env toolapi.Env, args []string, parentAddr string) (string, func(), error) {
+		if parentAddr == "" {
+			return "", nil, errors.New("mrnet: aux service needs a front-end address (set +FrontendAddr)")
+		}
+		var l net.Listener
+		var err error
+		var dial DialFunc
+		if env.Dial != nil {
+			// Simulated network: bind on the execution host.
+			dial = func(addr string) (net.Conn, error) { return env.Dial(addr) }
+		}
+		l, err = listenFor(env)
+		if err != nil {
+			return "", nil, err
+		}
+		node, err := NewNode(Config{
+			Name:             fmt.Sprintf("mrnet-%s", env.Context),
+			Listener:         l,
+			ParentAddr:       parentAddr,
+			Dial:             dial,
+			ExpectedChildren: fanIn,
+		})
+		if err != nil {
+			return "", nil, err
+		}
+		shutdown := func() {
+			// Let the session's final reduction and DONE drain before
+			// tearing the node down.
+			select {
+			case <-node.SessionDone():
+			case <-time.After(5 * time.Second):
+			}
+			node.Close()
+		}
+		return node.Addr(), shutdown, nil
+	}
+}
+
+// listenFor binds a listener on the execution host: loopback TCP by
+// default; the host's simulated network when the machine lives there.
+func listenFor(env toolapi.Env) (net.Listener, error) {
+	if env.NetListen != nil {
+		return env.NetListen()
+	}
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// BuildTree constructs a balanced reduction tree over TCP loopback:
+// `leaves` leaf nodes each expecting `fanIn` daemons, all feeding one
+// root that reports to parentAddr. It returns the leaf addresses
+// (round-robin daemons across them) and a shutdown function. With
+// leaves == 1 the single node doubles as the root.
+func BuildTree(parentAddr string, leaves, fanIn int, dial DialFunc) (leafAddrs []string, shutdown func(), err error) {
+	if leaves < 1 {
+		leaves = 1
+	}
+	var nodes []*Node
+	closeAll := func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+	rootParent := parentAddr
+	if leaves > 1 {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		root, err := NewNode(Config{
+			Name: "mrnet-root", Listener: l, ParentAddr: parentAddr,
+			Dial: dial, ExpectedChildren: leaves,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes = append(nodes, root)
+		rootParent = root.Addr()
+	}
+	for i := 0; i < leaves; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		name := fmt.Sprintf("mrnet-leaf%d", i)
+		parent := rootParent
+		if leaves == 1 {
+			name = "mrnet-root"
+			parent = parentAddr
+		}
+		leaf, err := NewNode(Config{
+			Name: name, Listener: l, ParentAddr: parent,
+			Dial: dial, ExpectedChildren: fanIn,
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		nodes = append(nodes, leaf)
+		leafAddrs = append(leafAddrs, leaf.Addr())
+	}
+	return leafAddrs, closeAll, nil
+}

@@ -1,0 +1,278 @@
+// Package netsim provides an in-memory network of named hosts with
+// listeners, dialing, firewall rules, and optional link latency. It
+// exists so the paper's §2.4 scenario — an application running on a
+// private network behind a firewall/NAT, reachable only through the
+// resource manager's proxy — can be constructed and tested
+// deterministically inside one process.
+//
+// Connections are net.Pipe pairs, so everything built on net.Conn
+// (the wire package, the attribute space servers, the Paradyn
+// front-end protocol) runs unmodified over the simulated fabric.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrHostUnknown is returned when dialing or adding routes for a host
+// that was never added to the network.
+var ErrHostUnknown = errors.New("netsim: unknown host")
+
+// ErrConnRefused is returned when no listener is bound to the target port.
+var ErrConnRefused = errors.New("netsim: connection refused")
+
+// ErrBlocked is returned when a firewall rule rejects the connection.
+var ErrBlocked = errors.New("netsim: blocked by firewall")
+
+// ErrClosed is returned for operations on a closed listener or network.
+var ErrClosed = errors.New("netsim: closed")
+
+// Rule decides whether a connection attempt from one host to another
+// host/port is allowed. Rules compose with AND: every rule must allow
+// the attempt.
+type Rule func(fromHost, toHost string, toPort int) bool
+
+// Addr is the net.Addr implementation for simulated endpoints.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// Network returns the addr network name, "sim".
+func (a Addr) Network() string { return "sim" }
+
+// String returns "host:port".
+func (a Addr) String() string { return net.JoinHostPort(a.Host, strconv.Itoa(a.Port)) }
+
+// SplitAddr parses "host:port" into its components.
+func SplitAddr(addr string) (host string, port int, err error) {
+	h, p, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", 0, fmt.Errorf("netsim: bad address %q: %w", addr, err)
+	}
+	n, err := strconv.Atoi(p)
+	if err != nil {
+		return "", 0, fmt.Errorf("netsim: bad port in %q: %w", addr, err)
+	}
+	return h, n, nil
+}
+
+// Network is the simulated fabric: a set of hosts plus firewall rules.
+type Network struct {
+	mu      sync.Mutex
+	hosts   map[string]*Host
+	rules   []Rule
+	latency time.Duration
+	dials   int // statistics: total successful dials
+	blocked int // statistics: dials rejected by rules
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{hosts: make(map[string]*Host)}
+}
+
+// SetLatency configures a one-way per-connection setup delay applied on
+// every successful dial, simulating WAN round-trip cost for the proxy
+// overhead experiments.
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// AddRule appends a firewall rule. All rules must pass for a dial to
+// proceed.
+func (n *Network) AddRule(r Rule) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rules = append(n.rules, r)
+}
+
+// BlockInbound returns a rule that rejects any connection into the
+// given host unless it originates from one of the allowed hosts. It
+// models a private network whose firewall admits only the resource
+// manager's own machinery.
+func BlockInbound(protectedHost string, allowedFrom ...string) Rule {
+	allowed := make(map[string]bool, len(allowedFrom))
+	for _, h := range allowedFrom {
+		allowed[h] = true
+	}
+	return func(from, to string, _ int) bool {
+		if to != protectedHost {
+			return true
+		}
+		return from == protectedHost || allowed[from]
+	}
+}
+
+// BlockOutbound returns a rule that rejects connections leaving the
+// given host except to the allowed destinations (e.g. only the proxy).
+func BlockOutbound(confinedHost string, allowedTo ...string) Rule {
+	allowed := make(map[string]bool, len(allowedTo))
+	for _, h := range allowedTo {
+		allowed[h] = true
+	}
+	return func(from, to string, _ int) bool {
+		if from != confinedHost {
+			return true
+		}
+		return to == confinedHost || allowed[to]
+	}
+}
+
+// AddHost creates (or returns the existing) named host.
+func (n *Network) AddHost(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[name]; ok {
+		return h
+	}
+	h := &Host{net: n, name: name, listeners: make(map[int]*Listener), nextPort: 10000}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns the named host, or nil when absent.
+func (n *Network) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[name]
+}
+
+// Stats reports the number of successful and firewall-blocked dials.
+func (n *Network) Stats() (dials, blocked int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dials, n.blocked
+}
+
+// Host is one named machine on the simulated network.
+type Host struct {
+	net       *Network
+	name      string
+	listeners map[int]*Listener
+	nextPort  int
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Listen binds a listener on the given port; port 0 picks a free one.
+func (h *Host) Listen(port int) (*Listener, error) {
+	n := h.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if port == 0 {
+		for h.listeners[h.nextPort] != nil {
+			h.nextPort++
+		}
+		port = h.nextPort
+		h.nextPort++
+	}
+	if h.listeners[port] != nil {
+		return nil, fmt.Errorf("netsim: %s port %d in use", h.name, port)
+	}
+	l := &Listener{
+		host:   h,
+		addr:   Addr{Host: h.name, Port: port},
+		accept: make(chan net.Conn, 16),
+		done:   make(chan struct{}),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Dial connects from this host to "host:port" elsewhere on the network,
+// subject to firewall rules.
+func (h *Host) Dial(addr string) (net.Conn, error) {
+	toHost, toPort, err := SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := h.net
+	n.mu.Lock()
+	target := n.hosts[toHost]
+	if target == nil {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrHostUnknown, toHost)
+	}
+	for _, r := range n.rules {
+		if !r(h.name, toHost, toPort) {
+			n.blocked++
+			n.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s -> %s", ErrBlocked, h.name, addr)
+		}
+	}
+	l := target.listeners[toPort]
+	if l == nil {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+	latency := n.latency
+	n.dials++
+	n.mu.Unlock()
+
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	client, server := net.Pipe()
+	cc := &conn{Conn: client, local: Addr{Host: h.name, Port: -1}, remote: l.addr}
+	sc := &conn{Conn: server, local: l.addr, remote: Addr{Host: h.name, Port: -1}}
+	select {
+	case l.accept <- sc:
+		return cc, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+}
+
+// Listener is a bound simulated port implementing net.Listener.
+type Listener struct {
+	host   *Host
+	addr   Addr
+	accept chan net.Conn
+	once   sync.Once
+	done   chan struct{}
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close unbinds the port and unblocks Accept.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		n := l.host.net
+		n.mu.Lock()
+		delete(l.host.listeners, l.addr.Port)
+		n.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the bound simulated address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// conn decorates a pipe end with simulated addresses.
+type conn struct {
+	net.Conn
+	local, remote Addr
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }

@@ -1,0 +1,364 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tdp/internal/wire"
+)
+
+func TestDialAndEcho(t *testing.T) {
+	n := New()
+	a := n.AddHost("alpha")
+	b := n.AddHost("beta")
+
+	l, err := b.Listen(7000)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		io.Copy(c, c) // echo
+		c.Close()
+	}()
+
+	c, err := a.Dial("beta:7000")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	msg := []byte("hello over simnet")
+	go c.Write(msg)
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Errorf("echo = %q", buf)
+	}
+	c.Close()
+}
+
+func TestDialUnknownHost(t *testing.T) {
+	n := New()
+	a := n.AddHost("a")
+	if _, err := a.Dial("ghost:1"); !errors.Is(err, ErrHostUnknown) {
+		t.Errorf("err = %v, want ErrHostUnknown", err)
+	}
+}
+
+func TestDialRefusedWhenNoListener(t *testing.T) {
+	n := New()
+	a := n.AddHost("a")
+	n.AddHost("b")
+	if _, err := a.Dial("b:9999"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("err = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestBadAddress(t *testing.T) {
+	n := New()
+	a := n.AddHost("a")
+	for _, addr := range []string{"nocolon", "host:notaport", ""} {
+		if _, err := a.Dial(addr); err == nil {
+			t.Errorf("Dial(%q) succeeded", addr)
+		}
+	}
+}
+
+func TestAutoPortAssignment(t *testing.T) {
+	n := New()
+	h := n.AddHost("h")
+	l1, err := h.Listen(0)
+	if err != nil {
+		t.Fatalf("Listen(0): %v", err)
+	}
+	defer l1.Close()
+	l2, err := h.Listen(0)
+	if err != nil {
+		t.Fatalf("Listen(0) #2: %v", err)
+	}
+	defer l2.Close()
+	a1 := l1.Addr().(Addr)
+	a2 := l2.Addr().(Addr)
+	if a1.Port == a2.Port {
+		t.Errorf("auto ports collided: %d", a1.Port)
+	}
+}
+
+func TestPortInUse(t *testing.T) {
+	n := New()
+	h := n.AddHost("h")
+	l, err := h.Listen(500)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	if _, err := h.Listen(500); err == nil {
+		t.Error("second Listen on same port succeeded")
+	}
+}
+
+func TestClosedListenerRefusesAndUnbinds(t *testing.T) {
+	n := New()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	l, _ := b.Listen(80)
+	l.Close()
+	if _, err := a.Dial("b:80"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial to closed listener: %v", err)
+	}
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Accept after close: %v", err)
+	}
+	// Port is free again.
+	l2, err := b.Listen(80)
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestFirewallBlockInbound(t *testing.T) {
+	n := New()
+	outside := n.AddHost("desktop")
+	proxyHost := n.AddHost("gateway")
+	private := n.AddHost("node1")
+	n.AddRule(BlockInbound("node1", "gateway"))
+
+	l, _ := private.Listen(9000)
+	defer l.Close()
+
+	if _, err := outside.Dial("node1:9000"); !errors.Is(err, ErrBlocked) {
+		t.Errorf("outside dial: err = %v, want ErrBlocked", err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	if _, err := proxyHost.Dial("node1:9000"); err != nil {
+		t.Errorf("gateway dial blocked: %v", err)
+	}
+	_, blocked := n.Stats()
+	if blocked != 1 {
+		t.Errorf("blocked stat = %d, want 1", blocked)
+	}
+}
+
+func TestFirewallBlockOutbound(t *testing.T) {
+	n := New()
+	private := n.AddHost("node1")
+	n.AddHost("desktop")
+	gw := n.AddHost("gateway")
+	n.AddRule(BlockOutbound("node1", "gateway"))
+
+	// node1 cannot reach the desktop directly...
+	if _, err := private.Dial("desktop:1"); !errors.Is(err, ErrBlocked) {
+		t.Errorf("outbound to desktop: %v, want ErrBlocked", err)
+	}
+	// ...but can reach the gateway.
+	l, _ := gw.Listen(4000)
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	if _, err := private.Dial("gateway:4000"); err != nil {
+		t.Errorf("outbound to gateway: %v", err)
+	}
+}
+
+func TestLoopbackAlwaysAllowed(t *testing.T) {
+	n := New()
+	h := n.AddHost("node1")
+	n.AddRule(BlockInbound("node1"))
+	n.AddRule(BlockOutbound("node1"))
+	l, _ := h.Listen(1)
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	if _, err := h.Dial("node1:1"); err != nil {
+		t.Errorf("loopback blocked: %v", err)
+	}
+}
+
+func TestAddrs(t *testing.T) {
+	n := New()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	l, _ := b.Listen(77)
+	defer l.Close()
+	connCh := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		connCh <- c
+	}()
+	c, err := a.Dial("b:77")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if got := c.RemoteAddr().String(); got != "b:77" {
+		t.Errorf("client RemoteAddr = %q", got)
+	}
+	sc := <-connCh
+	defer sc.Close()
+	if got := sc.LocalAddr().String(); got != "b:77" {
+		t.Errorf("server LocalAddr = %q", got)
+	}
+	if Addr(Addr{Host: "x", Port: 1}).Network() != "sim" {
+		t.Error("Network() != sim")
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := New()
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	l, _ := b.Listen(1)
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	n.SetLatency(20 * time.Millisecond)
+	start := time.Now()
+	c, err := a.Dial("b:1")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	c.Close()
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("dial took %v, want >= 20ms latency", d)
+	}
+}
+
+func TestAddHostIdempotent(t *testing.T) {
+	n := New()
+	h1 := n.AddHost("x")
+	h2 := n.AddHost("x")
+	if h1 != h2 {
+		t.Error("AddHost created duplicate host")
+	}
+	if n.Host("x") != h1 {
+		t.Error("Host lookup mismatch")
+	}
+	if n.Host("missing") != nil {
+		t.Error("Host(missing) != nil")
+	}
+	if h1.Name() != "x" {
+		t.Errorf("Name = %q", h1.Name())
+	}
+}
+
+func TestWireOverSimnet(t *testing.T) {
+	// The framed protocol must run unmodified over simulated conns.
+	n := New()
+	a := n.AddHost("fe")
+	b := n.AddHost("node")
+	l, _ := b.Listen(2000)
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		wc := wire.NewConn(c)
+		m, err := wc.Recv()
+		if err != nil {
+			t.Errorf("server Recv: %v", err)
+			return
+		}
+		wc.Send(wire.NewMessage("ACK").Set("echo", m.Get("attr")))
+	}()
+	c, err := a.Dial("node:2000")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	wc := wire.NewConn(c)
+	if err := wc.Send(wire.NewMessage("PUT").Set("attr", "pid")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	reply, err := wc.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if reply.Verb != "ACK" || reply.Get("echo") != "pid" {
+		t.Errorf("reply = %v", reply)
+	}
+}
+
+func TestConcurrentDials(t *testing.T) {
+	n := New()
+	server := n.AddHost("s")
+	l, _ := server.Listen(1)
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				io.Copy(c, c)
+				c.Close()
+			}(c)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		client := n.AddHost("c" + string(rune('a'+i)))
+		wg.Add(1)
+		go func(h *Host) {
+			defer wg.Done()
+			c, err := h.Dial("s:1")
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer c.Close()
+			go c.Write([]byte("ping"))
+			buf := make([]byte, 4)
+			if _, err := io.ReadFull(c, buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}(client)
+	}
+	wg.Wait()
+	dials, _ := n.Stats()
+	if dials != 16 {
+		t.Errorf("dials = %d, want 16", dials)
+	}
+}
+
+func TestSplitAddr(t *testing.T) {
+	h, p, err := SplitAddr("node7:8080")
+	if err != nil || h != "node7" || p != 8080 {
+		t.Errorf("SplitAddr = %q, %d, %v", h, p, err)
+	}
+	if _, _, err := SplitAddr("bad"); err == nil {
+		t.Error("SplitAddr(bad) succeeded")
+	}
+}

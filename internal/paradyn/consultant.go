@@ -1,0 +1,204 @@
+package paradyn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements a fuller version of the Performance Consultant
+// (§4.2: "the ability to automatically search for performance
+// bottlenecks"). Like the real PC, it runs a hierarchical hypothesis
+// search: a root hypothesis ("the application has a bottleneck") is
+// refined along the *why* axis (which kind of resource dominates) and
+// the *where* axis (which function, then which host/rank), testing
+// each refinement against a threshold and descending only into
+// hypotheses that hold.
+
+// Hypothesis is one node of the search: a claim about where time goes,
+// with the evidence that supported or refuted it.
+type Hypothesis struct {
+	// Name identifies the hypothesis, e.g. "TopLevel",
+	// "CPUBound(compute_forces)", "ExclusiveHost(node1)".
+	Name string
+	// Share is the fraction of the parent's time this hypothesis
+	// explains.
+	Share float64
+	// Confirmed reports whether Share met the threshold.
+	Confirmed bool
+	// Children are the refinements tested beneath a confirmed
+	// hypothesis.
+	Children []*Hypothesis
+}
+
+// SearchConfig tunes the consultant.
+type SearchConfig struct {
+	// Threshold is the minimum share for a hypothesis to be confirmed
+	// (the real PC uses ~0.2 by default for most hypotheses).
+	Threshold float64
+	// MaxDepth bounds refinement depth.
+	MaxDepth int
+}
+
+// DefaultSearchConfig mirrors the classic PC defaults.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{Threshold: 0.2, MaxDepth: 3}
+}
+
+// PerDaemonStats maps a daemon (host/rank) to its function statistics.
+type PerDaemonStats map[string]map[string]FuncStats
+
+// Search runs the hypothesis search over per-daemon statistics and
+// returns the root of the search tree plus the list of confirmed leaf
+// hypotheses ordered by share (the "bottleneck report").
+func Search(data PerDaemonStats, cfg SearchConfig) (*Hypothesis, []*Hypothesis) {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.2
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 3
+	}
+	merged := mergePerDaemon(data)
+	total := totalTime(merged, "main")
+	root := &Hypothesis{Name: "TopLevel", Share: 1, Confirmed: total > 0}
+	if !root.Confirmed {
+		return root, nil
+	}
+
+	// Why axis: which functions dominate?
+	names := sortedFuncs(merged)
+	for _, fn := range names {
+		if fn == "main" {
+			continue
+		}
+		share := float64(merged[fn].TimeMicros) / float64(total)
+		h := &Hypothesis{
+			Name:      fmt.Sprintf("CPUBound(%s)", fn),
+			Share:     share,
+			Confirmed: share >= cfg.Threshold,
+		}
+		root.Children = append(root.Children, h)
+		if !h.Confirmed || cfg.MaxDepth < 2 {
+			continue
+		}
+		// Where axis: which daemon (host/rank) contributes most to
+		// this function?
+		fnTotal := merged[fn].TimeMicros
+		if fnTotal == 0 {
+			continue
+		}
+		for _, daemon := range sortedDaemons(data) {
+			s, ok := data[daemon][fn]
+			if !ok {
+				continue
+			}
+			dshare := float64(s.TimeMicros) / float64(fnTotal)
+			child := &Hypothesis{
+				Name:      fmt.Sprintf("ExclusiveHost(%s,%s)", fn, daemon),
+				Share:     dshare,
+				Confirmed: dshare >= cfg.Threshold,
+			}
+			h.Children = append(h.Children, child)
+		}
+	}
+
+	var confirmed []*Hypothesis
+	var collect func(h *Hypothesis)
+	collect = func(h *Hypothesis) {
+		leaf := true
+		for _, c := range h.Children {
+			if c.Confirmed {
+				leaf = false
+				collect(c)
+			}
+		}
+		if leaf && h.Confirmed && h != root {
+			confirmed = append(confirmed, h)
+		}
+	}
+	collect(root)
+	sort.Slice(confirmed, func(i, j int) bool {
+		if confirmed[i].Share != confirmed[j].Share {
+			return confirmed[i].Share > confirmed[j].Share
+		}
+		return confirmed[i].Name < confirmed[j].Name
+	})
+	return root, confirmed
+}
+
+// FormatSearch renders the search tree the way the PC window shows it:
+// confirmed hypotheses flagged, shares as percentages.
+func FormatSearch(root *Hypothesis) string {
+	var sb strings.Builder
+	var walk func(h *Hypothesis, depth int)
+	walk = func(h *Hypothesis, depth int) {
+		mark := " "
+		if h.Confirmed {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s%s %s (%.0f%%)\n", strings.Repeat("  ", depth), mark, h.Name, h.Share*100)
+		for _, c := range h.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return sb.String()
+}
+
+func mergePerDaemon(data PerDaemonStats) map[string]FuncStats {
+	parts := make([]map[string]FuncStats, 0, len(data))
+	for _, m := range data {
+		parts = append(parts, m)
+	}
+	return Merge(parts...)
+}
+
+func totalTime(merged map[string]FuncStats, exclude string) int64 {
+	var total int64
+	for fn, s := range merged {
+		if fn == exclude {
+			continue
+		}
+		total += s.TimeMicros
+	}
+	return total
+}
+
+func sortedFuncs(m map[string]FuncStats) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedDaemons(data PerDaemonStats) []string {
+	out := make([]string, 0, len(data))
+	for k := range data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerDaemon snapshots the front-end's data in the consultant's input
+// shape.
+func (fe *FrontEnd) PerDaemon() PerDaemonStats {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	out := make(PerDaemonStats, len(fe.daemons))
+	for name, ds := range fe.daemons {
+		m := make(map[string]FuncStats, len(ds.stats))
+		for k, v := range ds.stats {
+			m[k] = v
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// Consult runs the hypothesis search on the front-end's current data.
+func (fe *FrontEnd) Consult(cfg SearchConfig) (*Hypothesis, []*Hypothesis) {
+	return Search(fe.PerDaemon(), cfg)
+}

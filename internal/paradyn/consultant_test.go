@@ -1,0 +1,181 @@
+package paradyn
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tdp/internal/wire"
+)
+
+func mkSample(fn string, calls, us int) *wire.Message {
+	return wire.NewMessage("SAMPLE").Set("fn", fn).SetInt("calls", calls).SetInt("time_us", us)
+}
+
+func mkDone(status string) *wire.Message {
+	return wire.NewMessage("DONE").Set("status", status)
+}
+
+func pcData() PerDaemonStats {
+	return PerDaemonStats{
+		"paradynd.node1.rank0": {
+			"main":           {Calls: 1, TimeMicros: 1000},
+			"compute_forces": {Calls: 10, TimeMicros: 600},
+			"io":             {Calls: 10, TimeMicros: 50},
+		},
+		"paradynd.node2.rank1": {
+			"main":           {Calls: 1, TimeMicros: 1000},
+			"compute_forces": {Calls: 10, TimeMicros: 100},
+			"io":             {Calls: 10, TimeMicros: 50},
+		},
+	}
+}
+
+func TestSearchFindsWhyAndWhere(t *testing.T) {
+	root, confirmed := Search(pcData(), DefaultSearchConfig())
+	if !root.Confirmed {
+		t.Fatal("root hypothesis not confirmed with nonzero data")
+	}
+	if len(confirmed) == 0 {
+		t.Fatal("no confirmed hypotheses")
+	}
+	// compute_forces dominates (700/800 of non-main time); within it,
+	// node1's daemon holds 600/700 — the leaf should be the host-level
+	// refinement.
+	top := confirmed[0]
+	if !strings.Contains(top.Name, "compute_forces") || !strings.Contains(top.Name, "node1") {
+		t.Errorf("top confirmed = %q, want ExclusiveHost(compute_forces, node1 daemon)", top.Name)
+	}
+	if top.Share < 0.8 {
+		t.Errorf("top share = %.2f, want ~0.86", top.Share)
+	}
+	// io (100/800 = 12.5%) must not be confirmed at the default 20%.
+	for _, h := range confirmed {
+		if strings.Contains(h.Name, "CPUBound(io)") {
+			t.Errorf("io confirmed despite being under threshold: %v", h)
+		}
+	}
+}
+
+func TestSearchThresholdAndDepth(t *testing.T) {
+	// With a tiny threshold, io confirms too.
+	_, confirmed := Search(pcData(), SearchConfig{Threshold: 0.01, MaxDepth: 3})
+	foundIO := false
+	for _, h := range confirmed {
+		if strings.Contains(h.Name, "io") {
+			foundIO = true
+		}
+	}
+	if !foundIO {
+		t.Error("io not confirmed at 1% threshold")
+	}
+	// Depth 1: no host-level refinement.
+	_, confirmed = Search(pcData(), SearchConfig{Threshold: 0.2, MaxDepth: 1})
+	for _, h := range confirmed {
+		if strings.Contains(h.Name, "ExclusiveHost") {
+			t.Errorf("host refinement at depth 1: %v", h)
+		}
+	}
+	if len(confirmed) == 0 || !strings.Contains(confirmed[0].Name, "CPUBound(compute_forces)") {
+		t.Errorf("depth-1 confirmed = %v", confirmed)
+	}
+}
+
+func TestSearchEmptyData(t *testing.T) {
+	root, confirmed := Search(PerDaemonStats{}, DefaultSearchConfig())
+	if root.Confirmed || len(confirmed) != 0 {
+		t.Errorf("empty data: root=%v confirmed=%v", root.Confirmed, confirmed)
+	}
+}
+
+func TestFormatSearch(t *testing.T) {
+	root, _ := Search(pcData(), DefaultSearchConfig())
+	out := FormatSearch(root)
+	if !strings.Contains(out, "* TopLevel (100%)") {
+		t.Errorf("missing confirmed root:\n%s", out)
+	}
+	if !strings.Contains(out, "* CPUBound(compute_forces)") {
+		t.Errorf("missing confirmed why-hypothesis:\n%s", out)
+	}
+	if !strings.Contains(out, "  CPUBound(io)") || strings.Contains(out, "* CPUBound(io)") {
+		t.Errorf("io should appear unconfirmed:\n%s", out)
+	}
+}
+
+func TestConsultOnFrontEnd(t *testing.T) {
+	fe := newFE(t, true)
+	wc := fakeDaemon(t, fe.Addr(), "d1")
+	if m, err := wc.Recv(); err != nil || m.Verb != "RUN" {
+		t.Fatalf("RUN: %v %v", m, err)
+	}
+	for fn, us := range map[string]int{"hot": 900, "cold": 100} {
+		wc.Send(mkSample(fn, 10, us))
+	}
+	wc.Send(mkDone("exit(0)"))
+	if err := fe.WaitDone(1, 5*time.Second); err != nil {
+		t.Fatalf("WaitDone: %v", err)
+	}
+	root, confirmed := fe.Consult(DefaultSearchConfig())
+	if !root.Confirmed || len(confirmed) == 0 {
+		t.Fatalf("Consult found nothing: %s", FormatSearch(root))
+	}
+	if !strings.Contains(confirmed[0].Name, "hot") {
+		t.Errorf("top = %q", confirmed[0].Name)
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	start := time.Now()
+	var series []TimedSample
+	// Cumulative time grows fast early, then flattens.
+	for i := 0; i < 10; i++ {
+		us := int64(i * 100)
+		if i > 5 {
+			us = 500 // flat
+		}
+		series = append(series, TimedSample{
+			At:    start.Add(time.Duration(i) * 10 * time.Millisecond),
+			Stats: FuncStats{Calls: int64(i), TimeMicros: us},
+		})
+	}
+	out := RenderHistogram(series, "work", HistogramOptions{Buckets: 5, Width: 10})
+	if !strings.Contains(out, "work over") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 6 { // header + 5 buckets
+		t.Errorf("bucket lines wrong:\n%s", out)
+	}
+	// Early buckets have bars; the last (flat) bucket has none.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if strings.Contains(last, "#") {
+		t.Errorf("flat tail bucket has a bar: %q", last)
+	}
+	// Empty series.
+	if got := RenderHistogram(nil, "x", HistogramOptions{}); !strings.Contains(got, "no samples") {
+		t.Errorf("empty series = %q", got)
+	}
+}
+
+func TestVisualization(t *testing.T) {
+	fe := newFE(t, true)
+	wc := fakeDaemon(t, fe.Addr(), "d1")
+	if m, err := wc.Recv(); err != nil || m.Verb != "RUN" {
+		t.Fatalf("RUN: %v %v", m, err)
+	}
+	for i := 1; i <= 4; i++ {
+		wc.Send(mkSample("hot", i, i*100))
+		wc.Send(mkSample("cold", i, i*10))
+	}
+	wc.Send(mkDone("exit(0)"))
+	if err := fe.WaitDone(1, 5*time.Second); err != nil {
+		t.Fatalf("WaitDone: %v", err)
+	}
+	out := fe.Visualization("d1", 1, HistogramOptions{Buckets: 4, Width: 8})
+	if !strings.Contains(out, "hot over") || strings.Contains(out, "cold over") {
+		t.Errorf("top-1 visualization wrong:\n%s", out)
+	}
+	if got := fe.Visualization("ghost", 1, HistogramOptions{}); !strings.Contains(got, "no data") {
+		t.Errorf("unknown daemon viz = %q", got)
+	}
+}

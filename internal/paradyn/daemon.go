@@ -1,0 +1,227 @@
+package paradyn
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"tdp"
+	"tdp/internal/attrspace"
+	"tdp/internal/condor"
+	"tdp/internal/procsim"
+	"tdp/internal/wire"
+)
+
+// DaemonOptions are parsed from paradynd's argument vector, which uses
+// the paper's Figure 5B style: "-zunix -l3 -mpinguino.cs.wisc.edu
+// -p2090 -P2091 -a%pid".
+type DaemonOptions struct {
+	FEHost  string // -m<host>
+	FEPort  int    // -p<port>: the daemon-protocol port
+	FEPort2 int    // -P<port>: the front-end's second port (Figure 5B's -P2091)
+	PID     int    // -a<pid>; 0 when the marker was unresolved (%pid) or absent
+	TDP     bool   // true when no concrete pid was given: fetch it from the LASS
+	Level   int    // -l<n>, instrumentation level (kept for fidelity)
+	Flavor  string // -z<flavor>, e.g. "unix" (kept for fidelity)
+}
+
+// ParseDaemonArgs parses the paradynd argument style of §4.3. An
+// argument "-a%pid" (unsubstituted marker) or a missing/empty -a means
+// the daemon is running under the TDP framework and must get the pid
+// from the attribute space — exactly how the prototype's paradynd
+// detected TDP mode ("when paradynd parses its arguments ... it does
+// not find any application process reference; paradynd assumes then
+// that it is working under a TDP framework").
+func ParseDaemonArgs(args []string) DaemonOptions {
+	opts := DaemonOptions{TDP: true}
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-m"):
+			opts.FEHost = a[2:]
+		case strings.HasPrefix(a, "-p"):
+			opts.FEPort, _ = strconv.Atoi(a[2:])
+		case strings.HasPrefix(a, "-P"):
+			opts.FEPort2, _ = strconv.Atoi(a[2:])
+		case strings.HasPrefix(a, "-z"):
+			opts.Flavor = a[2:]
+		case strings.HasPrefix(a, "-l"):
+			opts.Level, _ = strconv.Atoi(a[2:])
+		case strings.HasPrefix(a, "-a"):
+			v := a[2:]
+			if v == "" || strings.Contains(v, "%pid") {
+				opts.TDP = true
+				continue
+			}
+			if pid, err := strconv.Atoi(v); err == nil && pid > 0 {
+				opts.PID = pid
+				opts.TDP = false
+			}
+		}
+	}
+	return opts
+}
+
+// FEAddr returns the front-end address from the arguments, or "".
+func (o DaemonOptions) FEAddr() string {
+	if o.FEHost == "" || o.FEPort == 0 {
+		return ""
+	}
+	return net.JoinHostPort(o.FEHost, strconv.Itoa(o.FEPort))
+}
+
+// SampleInterval is how often a daemon streams metric samples to its
+// front-end while the application runs.
+const SampleInterval = 5 * time.Millisecond
+
+// Tool is paradynd packaged as a condor run-time tool: register it
+// under the name used by +ToolDaemonCmd ("paradynd"). The returned
+// program performs the full §4.3 daemon role.
+func Tool() condor.Tool {
+	return func(env condor.ToolEnv, args []string) procsim.Program {
+		return procsim.ProgramFunc(func(pc *procsim.ProcContext) int {
+			return runDaemon(env, args, pc)
+		})
+	}
+}
+
+// runDaemon is paradynd's main line.
+func runDaemon(env condor.ToolEnv, args []string, pc *procsim.ProcContext) int {
+	opts := ParseDaemonArgs(args)
+	fail := func(stage string, err error) int {
+		fmt.Fprintf(pc.Stderr(), "paradynd: %s: %v\n", stage, err)
+		return 1
+	}
+
+	// TDP framework setup (Figure 6 step 3).
+	h, err := tdp.Init(tdp.Config{
+		Context:  env.Context,
+		LASSAddr: env.LASSAddr,
+		Dial:     env.Dial,
+		Kernel:   env.Kernel,
+		Identity: "paradynd",
+		Trace:    env.Trace,
+	})
+	if err != nil {
+		return fail("tdp_init", err)
+	}
+	defer h.Exit()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Find the application: explicit pid (attach mode) or blocking get
+	// from the attribute space (create mode under TDP).
+	var pid procsim.PID
+	if opts.TDP {
+		pid, err = h.GetPID(ctx)
+		if err != nil {
+			return fail("tdp_get pid", err)
+		}
+	} else {
+		pid = procsim.PID(opts.PID)
+	}
+
+	// Attach (pausing the process if it was running) and "parse the
+	// executable to discover symbols and find potential
+	// instrumentation points" (§4.2).
+	proc, err := h.Attach(pid)
+	if err != nil {
+		return fail("tdp_attach", err)
+	}
+	metrics := NewMetrics()
+	for _, sym := range proc.Symbols() {
+		sym := sym
+		if _, err := proc.InsertProbe(sym,
+			func(*procsim.ProcContext) { metrics.OnEntry(sym) },
+			func(*procsim.ProcContext) { metrics.OnExit(sym) }); err != nil {
+			return fail("instrument "+sym, err)
+		}
+	}
+
+	// Connect to the front-end: the address comes from the argument
+	// vector (the prototype's manual mechanism) or from the attribute
+	// space (the "complete TDP framework" of §4.3, where the RM
+	// publishes the front-end address — possibly a proxy, §2.4).
+	feAddr := opts.FEAddr()
+	if feAddr == "" {
+		if v, err := h.TryGet(tdp.AttrFrontendAddr); err == nil {
+			feAddr = v
+		}
+	}
+	var fe *wire.Conn
+	if feAddr != "" {
+		dial := env.Dial
+		if dial == nil {
+			dial = attrspace.TCPDial
+		}
+		raw, err := dial(feAddr)
+		if err != nil {
+			return fail("connect front-end "+feAddr, err)
+		}
+		defer raw.Close()
+		fe = wire.NewConn(raw)
+		reg := wire.NewMessage("REGISTER").
+			Set("daemon", fmt.Sprintf("paradynd.%s.rank%d", env.Machine, env.Rank)).
+			Set("host", env.Machine).
+			SetInt("pid", int(pid)).
+			Set("executable", proc.Executable()).
+			SetInt("rank", env.Rank)
+		if err := fe.Send(reg); err != nil {
+			return fail("register", err)
+		}
+		// Wait for the user's run command from the front-end.
+		if m, err := fe.Recv(); err != nil || m.Verb != "RUN" {
+			if err != nil {
+				return fail("await RUN", err)
+			}
+			return fail("await RUN", fmt.Errorf("unexpected %s", m.Verb))
+		}
+	}
+
+	// Tell the RM we are in control, then start the application.
+	if err := h.Put(tdp.AttrToolReady, "1"); err != nil {
+		return fail("tool_ready", err)
+	}
+	if err := proc.Continue(); err != nil {
+		return fail("tdp_continue", err)
+	}
+
+	// Stream samples until the application exits.
+	sendSamples := func() {
+		if fe == nil {
+			return
+		}
+		for fn, s := range metrics.Snapshot() {
+			fe.Send(wire.NewMessage("SAMPLE").
+				Set("fn", fn).
+				Set("calls", strconv.FormatInt(s.Calls, 10)).
+				Set("time_us", strconv.FormatInt(s.TimeMicros, 10)))
+		}
+	}
+	var exit procsim.ExitStatus
+	for {
+		if st, done := proc.ExitStatus(); done {
+			exit = st
+			break
+		}
+		sendSamples()
+		pc.Sleep(SampleInterval)
+	}
+	sendSamples()
+	if fe != nil {
+		fe.Send(wire.NewMessage("DONE").Set("status", exit.String()))
+	}
+
+	// Leave a human-readable profile on stdout (lands in the
+	// ToolDaemonOutput file and is transferred back, §2's data-file
+	// bullet).
+	fmt.Fprintf(pc.Stdout(), "paradynd %s rank %d: %s\n", env.Machine, env.Rank, exit)
+	fmt.Fprint(pc.Stdout(), FormatTable(metrics.Snapshot()))
+	if fn, share, ok := Bottleneck(metrics.Snapshot(), "main"); ok {
+		fmt.Fprintf(pc.Stdout(), "bottleneck: %s (%.0f%%)\n", fn, share*100)
+	}
+	return 0
+}

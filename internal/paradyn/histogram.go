@@ -1,0 +1,125 @@
+package paradyn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file renders the front-end's metric time series as text
+// histograms — the reproduction's stand-in for Paradyn's run-time
+// visualizations ("display performance data visualizations", §4.2).
+
+// HistogramOptions tune RenderHistogram.
+type HistogramOptions struct {
+	// Buckets is the number of time buckets (default 20).
+	Buckets int
+	// Width is the bar width in characters (default 40).
+	Width int
+}
+
+// RenderHistogram folds one function's sample series into time buckets
+// and renders the per-bucket *rate* of inclusive time (µs of function
+// time per bucket) as bars. Samples carry cumulative values, so the
+// per-bucket delta is the activity in that interval.
+func RenderHistogram(series []TimedSample, fn string, opts HistogramOptions) string {
+	if opts.Buckets <= 0 {
+		opts.Buckets = 20
+	}
+	if opts.Width <= 0 {
+		opts.Width = 40
+	}
+	if len(series) == 0 {
+		return fmt.Sprintf("%s: no samples\n", fn)
+	}
+	start := series[0].At
+	end := series[len(series)-1].At
+	span := end.Sub(start)
+	if span <= 0 {
+		span = time.Millisecond
+	}
+	bucketDur := span / time.Duration(opts.Buckets)
+	if bucketDur <= 0 {
+		bucketDur = time.Millisecond
+	}
+
+	// Last cumulative value seen in each bucket.
+	lastInBucket := make([]int64, opts.Buckets)
+	seen := make([]bool, opts.Buckets)
+	for _, s := range series {
+		b := int(s.At.Sub(start) / bucketDur)
+		if b >= opts.Buckets {
+			b = opts.Buckets - 1
+		}
+		lastInBucket[b] = s.Stats.TimeMicros
+		seen[b] = true
+	}
+	// Deltas between buckets; carry forward unseen buckets.
+	deltas := make([]int64, opts.Buckets)
+	prev := int64(0)
+	var maxDelta int64
+	for i := 0; i < opts.Buckets; i++ {
+		cur := prev
+		if seen[i] {
+			cur = lastInBucket[i]
+		}
+		d := cur - prev
+		if d < 0 {
+			d = 0
+		}
+		deltas[i] = d
+		if d > maxDelta {
+			maxDelta = d
+		}
+		prev = cur
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s over %v (%d buckets of %v):\n", fn, span.Round(time.Millisecond), opts.Buckets, bucketDur.Round(time.Microsecond))
+	for i, d := range deltas {
+		bar := 0
+		if maxDelta > 0 {
+			bar = int(float64(d) / float64(maxDelta) * float64(opts.Width))
+		}
+		fmt.Fprintf(&sb, "%3d |%-*s| %dus\n", i, opts.Width, strings.Repeat("#", bar), d)
+	}
+	return sb.String()
+}
+
+// Visualization renders histograms for the top-N functions of a daemon
+// by total time — the "open a visi for the hottest metrics" gesture.
+func (fe *FrontEnd) Visualization(daemon string, topN int, opts HistogramOptions) string {
+	stats := fe.Stats(daemon)
+	if len(stats) == 0 {
+		return "no data for daemon " + daemon + "\n"
+	}
+	type kv struct {
+		fn string
+		us int64
+	}
+	ranked := make([]kv, 0, len(stats))
+	for fn, s := range stats {
+		if fn == "main" {
+			// main's inclusive time materializes only at exit; its
+			// histogram is a single spike with no information.
+			continue
+		}
+		ranked = append(ranked, kv{fn, s.TimeMicros})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].us != ranked[j].us {
+			return ranked[i].us > ranked[j].us
+		}
+		return ranked[i].fn < ranked[j].fn
+	})
+	if topN <= 0 || topN > len(ranked) {
+		topN = len(ranked)
+	}
+	var sb strings.Builder
+	for _, r := range ranked[:topN] {
+		sb.WriteString(RenderHistogram(fe.Series(daemon, r.fn), r.fn, opts))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package paradyn
+
+import (
+	"testing"
+	"time"
+
+	"tdp/internal/wire"
+)
+
+func TestSeriesAccumulates(t *testing.T) {
+	fe := newFE(t, true)
+	wc := fakeDaemon(t, fe.Addr(), "d1")
+	if m, err := wc.Recv(); err != nil || m.Verb != "RUN" {
+		t.Fatalf("RUN: %v %v", m, err)
+	}
+	for i := 1; i <= 5; i++ {
+		wc.Send(wire.NewMessage("SAMPLE").Set("fn", "work").
+			SetInt("calls", i*10).SetInt("time_us", i*100))
+	}
+	wc.Send(wire.NewMessage("DONE").Set("status", "exit(0)"))
+	if err := fe.WaitDone(1, 5*time.Second); err != nil {
+		t.Fatalf("WaitDone: %v", err)
+	}
+	series := fe.Series("d1", "work")
+	if len(series) != 5 {
+		t.Fatalf("series length = %d, want 5", len(series))
+	}
+	for i, s := range series {
+		want := int64((i + 1) * 10)
+		if s.Stats.Calls != want {
+			t.Errorf("series[%d].Calls = %d, want %d", i, s.Stats.Calls, want)
+		}
+		if i > 0 && s.At.Before(series[i-1].At) {
+			t.Errorf("series timestamps not monotone at %d", i)
+		}
+	}
+	// Latest value is what Stats reports.
+	if fe.Stats("d1")["work"].Calls != 50 {
+		t.Errorf("Stats = %v", fe.Stats("d1"))
+	}
+	// Unknown daemon or function.
+	if fe.Series("ghost", "work") != nil {
+		t.Error("Series(ghost) non-nil")
+	}
+	if got := fe.Series("d1", "nosuch"); len(got) != 0 {
+		t.Errorf("Series(nosuch) = %v", got)
+	}
+}
+
+func TestSeriesBounded(t *testing.T) {
+	fe := newFE(t, true)
+	wc := fakeDaemon(t, fe.Addr(), "d1")
+	if m, err := wc.Recv(); err != nil || m.Verb != "RUN" {
+		t.Fatalf("RUN: %v %v", m, err)
+	}
+	const extra = 50
+	for i := 0; i < historyCap+extra; i++ {
+		if err := wc.Send(wire.NewMessage("SAMPLE").Set("fn", "f").
+			SetInt("calls", i).SetInt("time_us", i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	wc.Send(wire.NewMessage("DONE").Set("status", "exit(0)"))
+	if err := fe.WaitDone(1, 10*time.Second); err != nil {
+		t.Fatalf("WaitDone: %v", err)
+	}
+	series := fe.Series("d1", "f")
+	if len(series) != historyCap {
+		t.Fatalf("series length = %d, want cap %d", len(series), historyCap)
+	}
+	// The retained window is the most recent samples.
+	if got := series[len(series)-1].Stats.Calls; got != historyCap+extra-1 {
+		t.Errorf("last sample = %d, want %d", got, historyCap+extra-1)
+	}
+	if got := series[0].Stats.Calls; got != extra {
+		t.Errorf("first retained sample = %d, want %d (oldest dropped)", got, extra)
+	}
+}

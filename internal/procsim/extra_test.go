@@ -1,0 +1,265 @@
+package procsim
+
+import (
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRequestStopParksAtNextSafePoint(t *testing.T) {
+	k := NewKernel()
+	p := spawnT(t, k, Spec{Executable: "spin", Program: NewSpinnerProgram(), Symbols: StdSymbols}, false)
+	defer p.Kill("")
+	if err := p.RequestStop(""); err != nil {
+		t.Fatalf("RequestStop: %v", err)
+	}
+	p.WaitStopped()
+	if p.State() != StateStopped {
+		t.Fatalf("state = %v", p.State())
+	}
+	// Idempotent on an already-stopped process.
+	if err := p.RequestStop(""); err != nil {
+		t.Errorf("second RequestStop: %v", err)
+	}
+	if err := p.Continue(""); err != nil {
+		t.Fatalf("Continue: %v", err)
+	}
+}
+
+func TestRequestStopFromProbe(t *testing.T) {
+	// The breakpoint mechanism at the kernel level: a probe on the
+	// process's own goroutine requests the stop; the process parks
+	// before running past the instrumentation point.
+	k := NewKernel()
+	phases := []PhaseSpec{{Name: "work", Units: 1}}
+	p := spawnT(t, k, Spec{
+		Executable: "app", Program: NewPhasedProgram(100, phases), Symbols: PhasedSymbols(phases),
+	}, true)
+	if err := p.Attach("dbg"); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	var hits atomic.Int32
+	if _, err := p.InsertProbe("dbg", "work", func(*ProcContext) {
+		if hits.Add(1) == 1 {
+			p.RequestStop("dbg")
+		}
+	}, nil); err != nil {
+		t.Fatalf("InsertProbe: %v", err)
+	}
+	p.Continue("dbg")
+	p.WaitStopped()
+	if p.State() != StateStopped {
+		t.Fatalf("state = %v", p.State())
+	}
+	// The process stopped promptly: only the first call ran.
+	if got := hits.Load(); got != 1 {
+		t.Errorf("hits at stop = %d, want 1", got)
+	}
+	p.Continue("dbg")
+	st, _ := p.WaitTracer()
+	_ = st
+	if got := hits.Load(); got != 100 {
+		t.Errorf("total hits = %d, want 100", got)
+	}
+}
+
+func TestRequestStopErrors(t *testing.T) {
+	k := NewKernel()
+	p := spawnT(t, k, exitSpec(0), false)
+	p.WaitParent()
+	if err := p.RequestStop(""); err == nil {
+		t.Error("RequestStop on exited process succeeded")
+	}
+	p2 := spawnT(t, k, Spec{Executable: "spin", Program: NewSpinnerProgram(), Symbols: StdSymbols}, false)
+	defer p2.Kill("")
+	p2.Attach("owner")
+	p2.Continue("owner") // running again; now control is contested
+	if err := p2.RequestStop("other"); err == nil {
+		t.Error("RequestStop by non-tracer succeeded")
+	}
+}
+
+func TestCheckpointAPI(t *testing.T) {
+	k := NewKernel()
+	p := spawnT(t, k, Spec{
+		Executable: "ckpt", Program: NewCheckpointableProgram(5, 1, nil), Symbols: StdSymbols,
+	}, false)
+	st, err := p.WaitParent()
+	if err != nil || st.Code != 0 {
+		t.Fatalf("wait = %v, %v", st, err)
+	}
+	if ck, ok := p.CheckpointData(); !ok || ck != "5" {
+		t.Errorf("checkpoint = %q, %v", ck, ok)
+	}
+	// No checkpoint on programs that never save one.
+	p2 := spawnT(t, k, exitSpec(0), false)
+	p2.WaitParent()
+	if _, ok := p2.CheckpointData(); ok {
+		t.Error("phantom checkpoint")
+	}
+}
+
+func TestProcContextAccessors(t *testing.T) {
+	k := NewKernel()
+	got := make(chan struct {
+		pid  PID
+		args []string
+		rd   string
+	}, 1)
+	prog := ProgramFunc(func(ctx *ProcContext) int {
+		got <- struct {
+			pid  PID
+			args []string
+			rd   string
+		}{ctx.PID(), ctx.Args(), ctx.RestartData()}
+		// Exercise the stdio fallbacks (nil writers/readers).
+		io.WriteString(ctx.Stdout(), "discarded")
+		io.WriteString(ctx.Stderr(), "discarded")
+		buf := make([]byte, 4)
+		if n, err := ctx.Stdin().Read(buf); n != 0 || err != io.EOF {
+			t.Errorf("empty stdin read = %d, %v", n, err)
+		}
+		return 0
+	})
+	p := spawnT(t, k, Spec{Executable: "acc", Args: []string{"-x", "1"}, Program: prog, RestartData: "42"}, false)
+	p.WaitParent()
+	v := <-got
+	if v.pid != p.PID() {
+		t.Errorf("ctx.PID = %d", v.pid)
+	}
+	if len(v.args) != 2 || v.args[0] != "-x" {
+		t.Errorf("ctx.Args = %v", v.args)
+	}
+	if v.rd != "42" {
+		t.Errorf("ctx.RestartData = %q", v.rd)
+	}
+	if p.Executable() != "acc" {
+		t.Errorf("Executable = %q", p.Executable())
+	}
+}
+
+func TestSleeperProgram(t *testing.T) {
+	k := NewKernel()
+	start := time.Now()
+	p := spawnT(t, k, Spec{Executable: "sleep", Program: NewSleeperProgram(20 * time.Millisecond), Symbols: StdSymbols}, false)
+	st, err := p.WaitParent()
+	if err != nil || st.Code != 0 {
+		t.Fatalf("wait = %v, %v", st, err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("sleeper finished in %v", d)
+	}
+}
+
+func TestSleeperIsStoppable(t *testing.T) {
+	k := NewKernel()
+	p := spawnT(t, k, Spec{Executable: "sleep", Program: NewSleeperProgram(time.Hour), Symbols: StdSymbols}, false)
+	done := make(chan struct{})
+	go func() {
+		p.Stop("")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung on a sleeping process")
+	}
+	p.Kill("")
+	if st, err := p.WaitParent(); err != nil || st.Signal != "SIGKILL" {
+		t.Fatalf("kill during sleep: %v, %v", st, err)
+	}
+}
+
+func TestCrashingProgram(t *testing.T) {
+	k := NewKernel()
+	p := spawnT(t, k, Spec{Executable: "crash", Program: NewCrashingProgram(3, 42), Symbols: StdSymbols}, false)
+	st, err := p.WaitParent()
+	if err != nil || st.Code != 42 {
+		t.Fatalf("wait = %v, %v", st, err)
+	}
+}
+
+func TestScienceAppRuns(t *testing.T) {
+	k := NewKernel()
+	phases, prog := DefaultScienceApp(2)
+	p := spawnT(t, k, Spec{Executable: "sci", Program: prog, Symbols: PhasedSymbols(phases)}, false)
+	if st, err := p.WaitParent(); err != nil || st.Code != 0 {
+		t.Fatalf("wait = %v, %v", st, err)
+	}
+}
+
+func TestEchoProgramStderrPath(t *testing.T) {
+	k := NewKernel()
+	var errOut strings.Builder
+	prog := ProgramFunc(func(ctx *ProcContext) int {
+		io.WriteString(ctx.Stderr(), "warning: test\n")
+		return 0
+	})
+	p := spawnT(t, k, Spec{Executable: "w", Program: prog, Stderr: &errOut}, false)
+	p.WaitParent()
+	if errOut.String() != "warning: test\n" {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestEventSubDropOldestUnderBackpressure(t *testing.T) {
+	// A subscriber that never drains must not wedge the kernel; the
+	// oldest events are dropped once the buffer fills.
+	k := NewKernel()
+	_ = k.Subscribe() // never drained
+	for i := 0; i < 300; i++ {
+		p := spawnT(t, k, exitSpec(0), false)
+		if _, err := p.WaitParent(); err != nil {
+			t.Fatalf("spawn %d: %v", i, err)
+		}
+	}
+	// Reaching here without deadlock is the assertion.
+}
+
+func TestWaitStoppedOnCreated(t *testing.T) {
+	k := NewKernel()
+	p := spawnT(t, k, exitSpec(0), true)
+	// A created process is parked by definition.
+	done := make(chan struct{})
+	go func() {
+		p.WaitStopped()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitStopped hung on created process")
+	}
+	p.Kill("")
+	p.WaitParent()
+}
+
+func TestReap(t *testing.T) {
+	k := NewKernel()
+	p := spawnT(t, k, exitSpec(0), false)
+	if err := k.Reap(p.PID()); err == nil {
+		// The program may legitimately still be running here.
+		t.Log("reaped immediately (process already exited)")
+	}
+	p.WaitParent()
+	if err := k.Reap(p.PID()); err != nil {
+		// First attempt may have succeeded above.
+		if _, lookupErr := k.Process(p.PID()); lookupErr == nil {
+			t.Fatalf("Reap failed with process still present: %v", err)
+		}
+	}
+	if _, err := k.Process(p.PID()); err == nil {
+		t.Error("process still visible after reap")
+	}
+	if err := k.Reap(p.PID()); err == nil {
+		t.Error("double reap succeeded")
+	}
+	// Live processes cannot be reaped.
+	live := spawnT(t, k, Spec{Executable: "spin", Program: NewSpinnerProgram(), Symbols: StdSymbols}, false)
+	defer live.Kill("")
+	if err := k.Reap(live.PID()); err == nil {
+		t.Error("reaped a live process")
+	}
+}

@@ -1,0 +1,165 @@
+package procsim
+
+import (
+	"bufio"
+	"fmt"
+	"time"
+)
+
+// This file provides the standard synthetic workloads used throughout
+// the reproduction: the applications that Condor schedules and Paradyn
+// profiles. Each exposes named functions (symbols) so tools can
+// instrument them, and each has a deliberate performance profile so
+// the bottleneck search has something to find.
+
+// PhaseSpec is one named function in a phased workload and its
+// relative cost.
+type PhaseSpec struct {
+	Name  string
+	Units int // compute units per iteration (1 unit ≈ 1µs)
+}
+
+// NewPhasedProgram returns a program that loops `iters` times, calling
+// each phase in order every iteration. It is the canonical profiling
+// target: a tool that instruments the phases will observe their cost
+// ratio. Symbols() for the spec should include every phase name plus
+// "main".
+func NewPhasedProgram(iters int, phases []PhaseSpec) Program {
+	return ProgramFunc(func(ctx *ProcContext) int {
+		var ret int
+		ctx.Call("main", func() {
+			for i := 0; i < iters; i++ {
+				for _, ph := range phases {
+					ph := ph
+					ctx.Call(ph.Name, func() { ctx.Compute(ph.Units) })
+				}
+			}
+		})
+		return ret
+	})
+}
+
+// PhasedSymbols returns the symbol table for NewPhasedProgram.
+func PhasedSymbols(phases []PhaseSpec) []string {
+	out := []string{"main"}
+	for _, ph := range phases {
+		out = append(out, ph.Name)
+	}
+	return out
+}
+
+// DefaultScienceApp returns a spec for a small "scientific" program
+// with an intentional bottleneck in compute_forces: roughly 70% of the
+// time goes there, so a working bottleneck search must name it.
+func DefaultScienceApp(iters int) ([]PhaseSpec, Program) {
+	phases := []PhaseSpec{
+		{Name: "read_input", Units: 5},
+		{Name: "compute_forces", Units: 70},
+		{Name: "update_positions", Units: 20},
+		{Name: "write_output", Units: 5},
+	}
+	return phases, NewPhasedProgram(iters, phases)
+}
+
+// NewExitingProgram returns a program that immediately exits with the
+// given code, for lifecycle tests.
+func NewExitingProgram(code int) Program {
+	return ProgramFunc(func(ctx *ProcContext) int {
+		ctx.Call("main", nil)
+		return code
+	})
+}
+
+// NewSleeperProgram returns a program that sleeps for d and exits 0.
+// It is the "long-running server" in attach-mode experiments.
+func NewSleeperProgram(d time.Duration) Program {
+	return ProgramFunc(func(ctx *ProcContext) int {
+		ctx.Call("main", func() { ctx.Sleep(d) })
+		return 0
+	})
+}
+
+// NewSpinnerProgram returns a program that loops forever (until
+// killed), checkpointing every iteration. It is the attach-mode target
+// that never exits on its own.
+func NewSpinnerProgram() Program {
+	return ProgramFunc(func(ctx *ProcContext) int {
+		ctx.Call("main", func() {
+			for {
+				ctx.Call("work", func() { ctx.Compute(1) })
+			}
+		})
+		return 0
+	})
+}
+
+// NewEchoProgram returns a program that copies stdin to stdout line by
+// line, prefixing each line, then exits with the number of lines
+// echoed. It exercises the paper's standard-I/O management interface.
+func NewEchoProgram(prefix string) Program {
+	return ProgramFunc(func(ctx *ProcContext) int {
+		lines := 0
+		ctx.Call("main", func() {
+			sc := bufio.NewScanner(ctx.Stdin())
+			for sc.Scan() {
+				ctx.Checkpoint()
+				fmt.Fprintf(ctx.Stdout(), "%s%s\n", prefix, sc.Text())
+				lines++
+			}
+		})
+		return lines
+	})
+}
+
+// NewCrashingProgram returns a program that runs `iters` work units
+// and then exits with a nonzero code, for fault-handling tests.
+func NewCrashingProgram(iters, code int) Program {
+	return ProgramFunc(func(ctx *ProcContext) int {
+		ctx.Call("main", func() { ctx.Compute(iters) })
+		return code
+	})
+}
+
+// StdSymbols is the symbol list for the simple single-function programs.
+var StdSymbols = []string{"main", "work"}
+
+// NewHangingProgram returns a program that enters main, signals
+// `entered` (if non-nil), and then blocks forever without ever
+// reaching a safe point — a simulated hang (tight loop or deadlock).
+// It cannot be killed (kill delivery needs a safe point), so its
+// goroutine leaks for the life of the test process; it exists for the
+// liveness-detection experiments.
+func NewHangingProgram(entered chan<- struct{}) Program {
+	return ProgramFunc(func(ctx *ProcContext) int {
+		ctx.Checkpoint()
+		if entered != nil {
+			close(entered)
+		}
+		select {} // no safe points ever again
+	})
+}
+
+// NewCheckpointableProgram returns a program that performs `iters`
+// units of work, saving a checkpoint after each, and resumes from its
+// RestartData when restarted. Its exit code is the iteration it
+// started from (0 for a fresh run), so tests can verify that a
+// migrated incarnation really resumed rather than restarted. onIter,
+// when non-nil, observes each iteration actually executed.
+func NewCheckpointableProgram(iters, unitsPerIter int, onIter func(i int)) Program {
+	return ProgramFunc(func(ctx *ProcContext) int {
+		start := 0
+		if d := ctx.RestartData(); d != "" {
+			fmt.Sscanf(d, "%d", &start)
+		}
+		ctx.Call("main", func() {
+			for i := start; i < iters; i++ {
+				ctx.Call("work", func() { ctx.Compute(unitsPerIter) })
+				if onIter != nil {
+					onIter(i)
+				}
+				ctx.SaveCheckpoint(fmt.Sprintf("%d", i+1))
+			}
+		})
+		return start
+	})
+}

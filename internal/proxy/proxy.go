@@ -1,0 +1,287 @@
+// Package proxy implements the resource manager's connection
+// forwarding from §2.4 of the paper. When the application runs on a
+// private network, the run-time tool daemon cannot dial its front-end
+// directly; instead TDP hands the daemon "a host/port number pair"
+// that is "that of the RM's proxy, which will be responsible for
+// establishing the connection and forwarding inbound and outbound
+// messages". TDP does not invent a new proxy — it standardizes the
+// interface to one the RM already has.
+//
+// Two mechanisms are provided:
+//
+//   - Forwarder: a static port-forward. The RM binds a port on the
+//     gateway and splices every accepted connection to one fixed
+//     target (the tool front-end, or the stdio endpoint). The address
+//     the RM publishes under tdp.AttrFrontendAddr is the forwarder's.
+//
+//   - Server: a CONNECT-style proxy for dynamic targets. The client
+//     sends one framed CONNECT message naming "host:port"; the proxy
+//     dials it and splices. Condor's actual mechanism (GCB) is
+//     dynamic like this.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"tdp/internal/wire"
+)
+
+// DialFunc opens an onward connection from the proxy host.
+type DialFunc func(addr string) (net.Conn, error)
+
+// ErrRejected is returned by DialVia when the proxy refuses the target.
+var ErrRejected = errors.New("proxy: connect rejected")
+
+// Forwarder forwards every connection accepted on a listener to one
+// fixed target address.
+type Forwarder struct {
+	target string
+	dial   DialFunc
+
+	mu      sync.Mutex
+	ln      net.Listener
+	closed  bool
+	tunnels int64
+	bytes   atomic.Int64
+}
+
+// NewForwarder returns a forwarder to target using dial for onward
+// connections.
+func NewForwarder(dial DialFunc, target string) *Forwarder {
+	return &Forwarder{target: target, dial: dial}
+}
+
+// Target returns the fixed destination.
+func (f *Forwarder) Target() string { return f.target }
+
+// Serve accepts on l until Close; each connection is spliced to the
+// target. It blocks; run in a goroutine.
+func (f *Forwarder) Serve(l net.Listener) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	f.ln = l
+	f.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			f.mu.Lock()
+			closed := f.closed
+			f.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		f.mu.Lock()
+		f.tunnels++
+		f.mu.Unlock()
+		go f.tunnel(c)
+	}
+}
+
+func (f *Forwarder) tunnel(client net.Conn) {
+	defer client.Close()
+	upstream, err := f.dial(f.target)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+	splice(client, upstream, &f.bytes)
+}
+
+// Close stops the listener.
+func (f *Forwarder) Close() {
+	f.mu.Lock()
+	f.closed = true
+	ln := f.ln
+	f.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// Stats reports tunnels opened and payload bytes relayed (both
+// directions).
+func (f *Forwarder) Stats() (tunnels int64, bytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tunnels, f.bytes.Load()
+}
+
+// splice copies bidirectionally until either side closes, counting
+// bytes into total.
+func splice(a, b net.Conn, total *atomic.Int64) {
+	done := make(chan struct{}, 2)
+	cp := func(dst, src net.Conn) {
+		io.Copy(countWriter{w: dst, total: total}, src)
+		// Half-close where supported so the peer's reads terminate.
+		type closeWriter interface{ CloseWrite() error }
+		if cw, ok := dst.(closeWriter); ok {
+			cw.CloseWrite()
+		} else {
+			dst.Close()
+		}
+		done <- struct{}{}
+	}
+	go cp(a, b)
+	go cp(b, a)
+	<-done
+	<-done
+}
+
+// countWriter counts payload bytes as they are relayed so Stats is
+// live while tunnels remain open.
+type countWriter struct {
+	w     io.Writer
+	total *atomic.Int64
+}
+
+func (c countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.total.Add(int64(n))
+	return n, err
+}
+
+// Server is the dynamic CONNECT proxy.
+type Server struct {
+	dial  DialFunc
+	allow func(target string) bool
+
+	mu      sync.Mutex
+	ln      net.Listener
+	closed  bool
+	tunnels int64
+	bytes   atomic.Int64
+}
+
+// NewServer returns a CONNECT proxy. allow filters target addresses;
+// nil allows everything.
+func NewServer(dial DialFunc, allow func(target string) bool) *Server {
+	if allow == nil {
+		allow = func(string) bool { return true }
+	}
+	return &Server{dial: dial, allow: allow}
+}
+
+// Serve accepts proxy clients on l until Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.handle(c)
+	}
+}
+
+func (s *Server) handle(client net.Conn) {
+	wc := wire.NewConn(client)
+	m, err := wc.Recv()
+	if err != nil || m.Verb != "CONNECT" {
+		client.Close()
+		return
+	}
+	target := m.Get("target")
+	if !s.allow(target) {
+		wc.Send(wire.NewMessage("REFUSED").Set("target", target))
+		client.Close()
+		return
+	}
+	upstream, err := s.dial(target)
+	if err != nil {
+		wc.Send(wire.NewMessage("REFUSED").Set("target", target).Set("error", err.Error()))
+		client.Close()
+		return
+	}
+	if err := wc.Send(wire.NewMessage("OK")); err != nil {
+		client.Close()
+		upstream.Close()
+		return
+	}
+	s.mu.Lock()
+	s.tunnels++
+	s.mu.Unlock()
+	defer client.Close()
+	defer upstream.Close()
+	// Bytes the client sent right behind CONNECT may already sit in
+	// the framed connection's buffer; read through it.
+	splice(bufferedConn{Conn: client, r: wc.Detach()}, upstream, &s.bytes)
+}
+
+// bufferedConn reads through a buffered reader (draining handshake
+// leftovers) while other net.Conn methods pass through.
+type bufferedConn struct {
+	net.Conn
+	r io.Reader
+}
+
+func (b bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+// Close stops the listener.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// Stats reports tunnels opened and payload bytes relayed.
+func (s *Server) Stats() (tunnels int64, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tunnels, s.bytes.Load()
+}
+
+// DialVia opens a connection to target through the CONNECT proxy at
+// proxyAddr, using dial for the proxy hop. On success the returned
+// conn carries the end-to-end stream.
+func DialVia(dial DialFunc, proxyAddr, target string) (net.Conn, error) {
+	c, err := dial(proxyAddr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: dial proxy %s: %w", proxyAddr, err)
+	}
+	wc := wire.NewConn(c)
+	if err := wc.Send(wire.NewMessage("CONNECT").Set("target", target)); err != nil {
+		c.Close()
+		return nil, err
+	}
+	reply, err := wc.Recv()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if reply.Verb != "OK" {
+		c.Close()
+		if msg := reply.Get("error"); msg != "" {
+			return nil, fmt.Errorf("%w: %s: %s", ErrRejected, target, msg)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRejected, target)
+	}
+	return bufferedConn{Conn: c, r: wc.Detach()}, nil
+}

@@ -1,0 +1,310 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"tdp/internal/netsim"
+	"tdp/internal/wire"
+)
+
+// privateNet builds the paper's Figure-1 topology: a desktop outside,
+// a gateway, and a private node whose firewall admits only the gateway.
+func privateNet() (nw *netsim.Network, desktop, gateway, node *netsim.Host) {
+	nw = netsim.New()
+	desktop = nw.AddHost("desktop")
+	gateway = nw.AddHost("gateway")
+	node = nw.AddHost("node1")
+	nw.AddRule(netsim.BlockInbound("node1", "gateway"))
+	nw.AddRule(netsim.BlockOutbound("node1", "gateway"))
+	nw.AddRule(netsim.BlockInbound("desktop", "gateway"))
+	return
+}
+
+// startEcho runs an echo server on host:port.
+func startEcho(t *testing.T, h *netsim.Host, port int) {
+	t.Helper()
+	l, err := h.Listen(port)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				io.Copy(c, c)
+				c.Close()
+			}(c)
+		}
+	}()
+}
+
+func TestDirectDialBlockedByFirewall(t *testing.T) {
+	_, desktop, _, node := privateNet()
+	startEcho(t, desktop, 2090)
+	// The tool daemon on the private node cannot reach the desktop
+	// front-end directly — the §2.4 premise.
+	if _, err := node.Dial("desktop:2090"); !errors.Is(err, netsim.ErrBlocked) {
+		t.Fatalf("direct dial err = %v, want ErrBlocked", err)
+	}
+}
+
+func TestForwarderTunnelsThroughFirewall(t *testing.T) {
+	_, desktop, gateway, node := privateNet()
+	startEcho(t, desktop, 2090)
+
+	// RM establishes a forwarder on the gateway aimed at the front-end.
+	fw := NewForwarder(gateway.Dial, "desktop:2090")
+	l, err := gateway.Listen(7000)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go fw.Serve(l)
+	defer fw.Close()
+
+	// The daemon dials the proxy address TDP handed out.
+	c, err := node.Dial("gateway:7000")
+	if err != nil {
+		t.Fatalf("dial forwarder: %v", err)
+	}
+	defer c.Close()
+	msg := []byte("paradynd metrics sample")
+	go c.Write(msg)
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Errorf("echo = %q", buf)
+	}
+	tunnels, bytes := fw.Stats()
+	if tunnels != 1 {
+		t.Errorf("tunnels = %d", tunnels)
+	}
+	if bytes < int64(len(msg)) {
+		t.Errorf("bytes = %d, want >= %d", bytes, len(msg))
+	}
+}
+
+func TestForwarderUpstreamFailure(t *testing.T) {
+	_, _, gateway, node := privateNet()
+	fw := NewForwarder(gateway.Dial, "desktop:9") // nothing listening
+	l, _ := gateway.Listen(7001)
+	go fw.Serve(l)
+	defer fw.Close()
+	c, err := node.Dial("gateway:7001")
+	if err != nil {
+		t.Fatalf("dial forwarder: %v", err)
+	}
+	defer c.Close()
+	// The tunnel must close promptly when upstream dial fails.
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Error("read succeeded on dead tunnel")
+	}
+}
+
+func TestForwarderClose(t *testing.T) {
+	_, _, gateway, node := privateNet()
+	fw := NewForwarder(gateway.Dial, "desktop:2090")
+	l, _ := gateway.Listen(7002)
+	done := make(chan error, 1)
+	go func() { done <- fw.Serve(l) }()
+	fw.Close()
+	if err := <-done; err != nil {
+		t.Errorf("Serve returned %v after Close", err)
+	}
+	if _, err := node.Dial("gateway:7002"); err == nil {
+		t.Error("dial succeeded after Close")
+	}
+	if fw.Target() != "desktop:2090" {
+		t.Errorf("Target = %q", fw.Target())
+	}
+}
+
+func TestConnectProxy(t *testing.T) {
+	_, desktop, gateway, node := privateNet()
+	startEcho(t, desktop, 2090)
+
+	srv := NewServer(gateway.Dial, nil)
+	l, _ := gateway.Listen(8000)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	c, err := DialVia(node.Dial, "gateway:8000", "desktop:2090")
+	if err != nil {
+		t.Fatalf("DialVia: %v", err)
+	}
+	defer c.Close()
+	msg := []byte("dynamic tunnel payload")
+	go c.Write(msg)
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Errorf("echo = %q", buf)
+	}
+	tunnels, _ := srv.Stats()
+	if tunnels != 1 {
+		t.Errorf("tunnels = %d", tunnels)
+	}
+}
+
+func TestConnectProxyAllowList(t *testing.T) {
+	_, desktop, gateway, node := privateNet()
+	startEcho(t, desktop, 2090)
+	srv := NewServer(gateway.Dial, func(target string) bool {
+		return target == "desktop:2090"
+	})
+	l, _ := gateway.Listen(8001)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	if _, err := DialVia(node.Dial, "gateway:8001", "desktop:666"); !errors.Is(err, ErrRejected) {
+		t.Errorf("disallowed target err = %v, want ErrRejected", err)
+	}
+	c, err := DialVia(node.Dial, "gateway:8001", "desktop:2090")
+	if err != nil {
+		t.Fatalf("allowed target: %v", err)
+	}
+	c.Close()
+}
+
+func TestConnectProxyUpstreamFailure(t *testing.T) {
+	_, _, gateway, node := privateNet()
+	srv := NewServer(gateway.Dial, nil)
+	l, _ := gateway.Listen(8002)
+	go srv.Serve(l)
+	defer srv.Close()
+	if _, err := DialVia(node.Dial, "gateway:8002", "desktop:9"); !errors.Is(err, ErrRejected) {
+		t.Errorf("err = %v, want ErrRejected with upstream error", err)
+	}
+}
+
+func TestConnectProxyPipelinedBytes(t *testing.T) {
+	// Bytes sent immediately behind the CONNECT frame must not be lost
+	// in the handshake buffer.
+	_, desktop, gateway, node := privateNet()
+	startEcho(t, desktop, 2090)
+	srv := NewServer(gateway.Dial, nil)
+	l, _ := gateway.Listen(8003)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	raw, err := node.Dial("gateway:8003")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	wc := wire.NewConn(raw)
+	// Send CONNECT and payload back-to-back before reading OK.
+	if err := wc.Send(wire.NewMessage("CONNECT").Set("target", "desktop:2090")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	payload := []byte("early bytes")
+	go raw.Write(payload)
+	if reply, err := wc.Recv(); err != nil || reply.Verb != "OK" {
+		t.Fatalf("handshake: %v %v", reply, err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(wc.Detach(), buf); err != nil {
+		t.Fatalf("read echo: %v", err)
+	}
+	if string(buf) != string(payload) {
+		t.Errorf("echo = %q", buf)
+	}
+	raw.Close()
+}
+
+func TestConcurrentTunnels(t *testing.T) {
+	_, desktop, gateway, node := privateNet()
+	startEcho(t, desktop, 2090)
+	fw := NewForwarder(gateway.Dial, "desktop:2090")
+	l, _ := gateway.Listen(7010)
+	go fw.Serve(l)
+	defer fw.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := node.Dial("gateway:7010")
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			msg := []byte(fmt.Sprintf("tunnel-%d", i))
+			go c.Write(msg)
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, buf); err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+			if string(buf) != string(msg) {
+				t.Errorf("tunnel %d echo = %q", i, buf)
+			}
+		}(i)
+	}
+	wg.Wait()
+	tunnels, _ := fw.Stats()
+	if tunnels != 10 {
+		t.Errorf("tunnels = %d", tunnels)
+	}
+}
+
+func TestForwarderOverRealTCP(t *testing.T) {
+	// The same forwarder must work over the real loopback network.
+	echoLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer echoLn.Close()
+	go func() {
+		for {
+			c, err := echoLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				io.Copy(c, c)
+				c.Close()
+			}(c)
+		}
+	}()
+
+	dial := func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	fw := NewForwarder(dial, echoLn.Addr().String())
+	fwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go fw.Serve(fwLn)
+	defer fw.Close()
+
+	c, err := net.Dial("tcp", fwLn.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	msg := []byte("tcp forward")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Errorf("echo = %q", buf)
+	}
+}

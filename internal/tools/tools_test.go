@@ -1,0 +1,171 @@
+package tools
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tdp"
+	"tdp/internal/procsim"
+	"tdp/internal/rmkit"
+	"tdp/internal/toolapi"
+)
+
+func workApp(iters int) ([]procsim.PhaseSpec, procsim.Program) {
+	phases := []procsim.PhaseSpec{{Name: "work", Units: 3}}
+	return phases, procsim.NewPhasedProgram(iters, phases)
+}
+
+func TestTracerRecordsEvents(t *testing.T) {
+	rm, err := rmkit.NewForkRM(nil)
+	if err != nil {
+		t.Fatalf("NewForkRM: %v", err)
+	}
+	defer rm.Close()
+
+	phases, prog := workApp(4)
+	var toolOut strings.Builder
+	st, err := rm.Run(rmkit.JobSpec{
+		Name: "app", Program: prog, Symbols: procsim.PhasedSymbols(phases),
+		Tool: Tracer(), ToolOut: &toolOut,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Code != 0 {
+		t.Errorf("exit = %v", st)
+	}
+	out := toolOut.String()
+	if got := strings.Count(out, "TRACE enter work"); got != 4 {
+		t.Errorf("enter events = %d, want 4\n%s", got, out)
+	}
+	if got := strings.Count(out, "TRACE leave work"); got != 4 {
+		t.Errorf("leave events = %d, want 4", got)
+	}
+	if !strings.Contains(out, "TRACE-END exit(0)") {
+		t.Errorf("missing trace end: %s", out)
+	}
+	// The tracer saw the start of main — event count includes main.
+	if !strings.Contains(out, "TRACE enter main") {
+		t.Errorf("tracer missed main entry — attach happened too late:\n%s", out)
+	}
+}
+
+func TestTracerRefusesRunningProcess(t *testing.T) {
+	// Vampir-style tools cannot attach late (§2.2). A tracer handed an
+	// already-running application must fail loudly.
+	host, err := rmkit.NewHost("h")
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	defer host.Close()
+
+	phases, prog := workApp(100000)
+	ap, err := host.Kernel.Spawn(procsim.Spec{
+		Executable: "app", Program: prog, Symbols: procsim.PhasedSymbols(phases),
+	}, false) // running
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	defer ap.Kill("")
+
+	// RM side: publish the running pid.
+	h, err := tdp.Init(tdp.Config{Context: "neg", LASSAddr: host.LASSAddr, Kernel: host.Kernel, Identity: "rm"})
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	defer h.Exit()
+	h.Put(tdp.AttrPID, tdp.FormatPID(ap.PID()))
+
+	var errBuf strings.Builder
+	env := toolapi.Env{Machine: "h", Kernel: host.Kernel, LASSAddr: host.LASSAddr, Context: "neg"}
+	tp, err := host.Kernel.Spawn(procsim.Spec{
+		Executable: "tracer", Program: Tracer()(env, nil), Stderr: &errBuf,
+	}, false)
+	if err != nil {
+		t.Fatalf("spawn tracer: %v", err)
+	}
+	st, err := tp.WaitParent()
+	if err != nil {
+		t.Fatalf("wait tracer: %v", err)
+	}
+	if st.Code == 0 {
+		t.Error("tracer accepted a running process")
+	}
+	if !strings.Contains(errBuf.String(), "requires create-paused") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestDebuggerBreakpoints(t *testing.T) {
+	rm, err := rmkit.NewForkRM(nil)
+	if err != nil {
+		t.Fatalf("NewForkRM: %v", err)
+	}
+	defer rm.Close()
+
+	phases, prog := workApp(10)
+	var toolOut strings.Builder
+	st, err := rm.Run(rmkit.JobSpec{
+		Name: "app", Program: prog, Symbols: procsim.PhasedSymbols(phases),
+		Tool: Debugger(), ToolArgs: []string{"-bwork", "-n3"}, ToolOut: &toolOut,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Code != 0 {
+		t.Errorf("exit = %v", st)
+	}
+	out := toolOut.String()
+	if got := strings.Count(out, "DEBUG stop"); got != 3 {
+		t.Errorf("stops = %d, want 3\n%s", got, out)
+	}
+	if !strings.Contains(out, "DEBUG-END breakpoint=work hits=3 status=exit(0)") {
+		t.Errorf("missing session summary: %s", out)
+	}
+}
+
+func TestDebuggerUnknownBreakpoint(t *testing.T) {
+	host, err := rmkit.NewHost("h")
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	defer host.Close()
+
+	phases, prog := workApp(2)
+	ap, err := host.Kernel.Spawn(procsim.Spec{
+		Executable: "app", Program: prog, Symbols: procsim.PhasedSymbols(phases),
+	}, true) // paused, as under a real RM
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	defer ap.Kill("")
+
+	h, err := tdp.Init(tdp.Config{Context: "dbg-neg", LASSAddr: host.LASSAddr, Kernel: host.Kernel, Identity: "rm"})
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	defer h.Exit()
+	h.Put(tdp.AttrPID, tdp.FormatPID(ap.PID()))
+
+	var errBuf strings.Builder
+	env := toolapi.Env{Machine: "h", Kernel: host.Kernel, LASSAddr: host.LASSAddr, Context: "dbg-neg"}
+	tp, err := host.Kernel.Spawn(procsim.Spec{
+		Executable: "debugger", Program: Debugger()(env, []string{"-bnosuchfn"}), Stderr: &errBuf,
+	}, false)
+	if err != nil {
+		t.Fatalf("spawn debugger: %v", err)
+	}
+	st, err := tp.WaitParent()
+	if err != nil {
+		t.Fatalf("wait debugger: %v", err)
+	}
+	if st.Code == 0 {
+		t.Error("debugger accepted an unknown breakpoint symbol")
+	}
+	if !strings.Contains(errBuf.String(), `no symbol "nosuchfn"`) {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}

@@ -1,0 +1,149 @@
+// Package trace records protocol event sequences so the figure
+// reproduction experiments (Figures 3A, 3B, and 6 of the paper) can
+// assert that daemons perform the TDP steps in the published order.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one recorded protocol step.
+type Entry struct {
+	Seq    int       // global order, starting at 0
+	At     time.Time // wall-clock, for latency reporting
+	Actor  string    // who performed the step (e.g. "RM", "RT", "starter")
+	Action string    // what (e.g. "tdp_init", "tdp_create_process")
+	Detail string    // free-form context (e.g. "paused", "pid=1000")
+}
+
+// String renders "actor:action(detail)".
+func (e Entry) String() string {
+	if e.Detail == "" {
+		return e.Actor + ":" + e.Action
+	}
+	return fmt.Sprintf("%s:%s(%s)", e.Actor, e.Action, e.Detail)
+}
+
+// Recorder accumulates entries from any number of goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{}
+}
+
+// Record appends a step and returns its sequence number.
+func (r *Recorder) Record(actor, action, detail string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seq := len(r.entries)
+	r.entries = append(r.entries, Entry{
+		Seq: seq, At: time.Now(), Actor: actor, Action: action, Detail: detail,
+	})
+	return seq
+}
+
+// Recordf is Record with a formatted detail.
+func (r *Recorder) Recordf(actor, action, format string, args ...any) int {
+	return r.Record(actor, action, fmt.Sprintf(format, args...))
+}
+
+// Entries returns a copy of all recorded steps in order.
+func (r *Recorder) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// Len reports the number of recorded steps.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Strings returns each entry's String form, in order.
+func (r *Recorder) Strings() []string {
+	entries := r.Entries()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// Actions returns "actor:action" (no detail) for each entry, in order.
+// Figure assertions compare against these.
+func (r *Recorder) Actions() []string {
+	entries := r.Entries()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Actor + ":" + e.Action
+	}
+	return out
+}
+
+// ByActor returns the entries performed by one actor, in order.
+func (r *Recorder) ByActor(actor string) []Entry {
+	var out []Entry
+	for _, e := range r.Entries() {
+		if e.Actor == actor {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the sequence number of the first entry matching
+// actor:action, or -1 when absent.
+func (r *Recorder) First(actor, action string) int {
+	for _, e := range r.Entries() {
+		if e.Actor == actor && e.Action == action {
+			return e.Seq
+		}
+	}
+	return -1
+}
+
+// Happened reports whether actor:action was ever recorded.
+func (r *Recorder) Happened(actor, action string) bool {
+	return r.First(actor, action) >= 0
+}
+
+// Before reports whether the first occurrence of a1:x1 precedes the
+// first occurrence of a2:x2. Both must have occurred.
+func (r *Recorder) Before(a1, x1, a2, x2 string) bool {
+	i, j := r.First(a1, x1), r.First(a2, x2)
+	return i >= 0 && j >= 0 && i < j
+}
+
+// CheckOrder verifies that the given "actor:action" steps appear in
+// the trace in the given relative order (other steps may interleave).
+// It returns a descriptive error naming the first violated step.
+func (r *Recorder) CheckOrder(steps ...string) error {
+	actions := r.Actions()
+	pos := 0
+	for _, want := range steps {
+		found := false
+		for ; pos < len(actions); pos++ {
+			if actions[pos] == want {
+				found = true
+				pos++
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("trace: step %q missing or out of order; trace:\n  %s",
+				want, strings.Join(actions, "\n  "))
+		}
+	}
+	return nil
+}

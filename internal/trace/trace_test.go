@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndEntries(t *testing.T) {
+	r := New()
+	if seq := r.Record("RM", "tdp_init", ""); seq != 0 {
+		t.Errorf("first seq = %d", seq)
+	}
+	if seq := r.Recordf("RM", "tdp_create_process", "pid=%d", 1000); seq != 1 {
+		t.Errorf("second seq = %d", seq)
+	}
+	es := r.Entries()
+	if len(es) != 2 || r.Len() != 2 {
+		t.Fatalf("entries = %v", es)
+	}
+	if es[1].Detail != "pid=1000" {
+		t.Errorf("detail = %q", es[1].Detail)
+	}
+	if es[0].String() != "RM:tdp_init" {
+		t.Errorf("String = %q", es[0].String())
+	}
+	if es[1].String() != "RM:tdp_create_process(pid=1000)" {
+		t.Errorf("String = %q", es[1].String())
+	}
+}
+
+func TestActionsAndStrings(t *testing.T) {
+	r := New()
+	r.Record("RM", "a", "")
+	r.Record("RT", "b", "x")
+	if got := r.Actions(); got[0] != "RM:a" || got[1] != "RT:b" {
+		t.Errorf("Actions = %v", got)
+	}
+	if got := r.Strings(); got[1] != "RT:b(x)" {
+		t.Errorf("Strings = %v", got)
+	}
+}
+
+func TestByActor(t *testing.T) {
+	r := New()
+	r.Record("RM", "a", "")
+	r.Record("RT", "b", "")
+	r.Record("RM", "c", "")
+	rm := r.ByActor("RM")
+	if len(rm) != 2 || rm[0].Action != "a" || rm[1].Action != "c" {
+		t.Errorf("ByActor = %v", rm)
+	}
+	if got := r.ByActor("ghost"); got != nil {
+		t.Errorf("ByActor(ghost) = %v", got)
+	}
+}
+
+func TestFirstHappenedBefore(t *testing.T) {
+	r := New()
+	r.Record("RM", "create", "")
+	r.Record("RT", "attach", "")
+	r.Record("RT", "attach", "") // duplicate; First returns earliest
+	if r.First("RT", "attach") != 1 {
+		t.Errorf("First = %d", r.First("RT", "attach"))
+	}
+	if r.First("RT", "nope") != -1 {
+		t.Error("First of absent != -1")
+	}
+	if !r.Happened("RM", "create") || r.Happened("RM", "nope") {
+		t.Error("Happened wrong")
+	}
+	if !r.Before("RM", "create", "RT", "attach") {
+		t.Error("Before(create, attach) = false")
+	}
+	if r.Before("RT", "attach", "RM", "create") {
+		t.Error("Before(attach, create) = true")
+	}
+	if r.Before("RM", "create", "RM", "missing") {
+		t.Error("Before with missing step = true")
+	}
+}
+
+func TestCheckOrder(t *testing.T) {
+	r := New()
+	for _, s := range []string{"RM:tdp_init", "RM:create_AP", "noise:x", "RM:create_RT", "RT:tdp_init", "RT:attach", "RT:continue"} {
+		parts := strings.SplitN(s, ":", 2)
+		r.Record(parts[0], parts[1], "")
+	}
+	if err := r.CheckOrder("RM:tdp_init", "RM:create_AP", "RM:create_RT", "RT:attach", "RT:continue"); err != nil {
+		t.Errorf("CheckOrder valid sequence: %v", err)
+	}
+	if err := r.CheckOrder("RT:attach", "RM:create_AP"); err == nil {
+		t.Error("CheckOrder accepted out-of-order steps")
+	}
+	if err := r.CheckOrder("RM:ghost"); err == nil {
+		t.Error("CheckOrder accepted missing step")
+	}
+	if err := r.CheckOrder("RT:attach", "RT:attach"); err == nil {
+		t.Error("CheckOrder accepted duplicate expectation of single event")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record("A", "step", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	// Sequence numbers must be dense and unique.
+	seen := make(map[int]bool)
+	for _, e := range r.Entries() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics feeds arbitrary bytes to the decoder: it must
+// return a message or an error, never panic — the server's first line
+// of defense against corrupt or hostile peers.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(payload []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Decode(payload)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeOfMutatedEncodings flips bytes in valid encodings; the
+// decoder must never panic and never mis-accept trailing garbage as
+// extra fields.
+func TestDecodeOfMutatedEncodings(t *testing.T) {
+	base := NewMessage("PUT").Set("attr", "pid").Set("value", "1234").Encode()
+	for i := 0; i < len(base); i++ {
+		for _, b := range []byte{0x00, 0xFF, ':', ';', '9'} {
+			mutated := append([]byte(nil), base...)
+			mutated[i] = b
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutation at %d -> %q: %v", i, b, r)
+					}
+				}()
+				if m, err := Decode(mutated); err == nil {
+					// Accepted mutations must still be self-consistent:
+					// re-encoding and re-decoding agrees.
+					again, err2 := Decode(m.Encode())
+					if err2 != nil || again.Verb != m.Verb {
+						t.Fatalf("accepted mutation at %d is not stable", i)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// TestEncodeDecodeIdentityQuick is the round-trip property over fully
+// random field maps, including empty and binary-ish strings.
+func TestEncodeDecodeIdentityQuick(t *testing.T) {
+	f := func(verb string, fields map[string]string) bool {
+		m := &Message{Verb: verb, Fields: fields}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Verb != verb {
+			return false
+		}
+		if len(got.Fields) != len(fields) {
+			return false
+		}
+		for k, v := range fields {
+			if got.Fields[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

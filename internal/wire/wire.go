@@ -1,0 +1,260 @@
+// Package wire implements the message framing and encoding shared by
+// every daemon protocol in the TDP reproduction: the attribute space
+// protocol (LASS/CASS), the Condor daemon protocols, the Paradyn
+// front-end protocol, and the proxy control channel.
+//
+// A message on the wire is a 4-byte big-endian length followed by that
+// many payload bytes. The payload is a Message encoded as a compact
+// textual record: the verb, then a sequence of key/value fields, each
+// length-prefixed so values may contain any byte sequence. The format
+// is deliberately simple (the paper constrains attribute values to
+// strings) and has no external dependencies.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// MaxFrameSize bounds a single frame. Attribute values are small
+// configuration strings in TDP; 16 MiB is far beyond any legitimate
+// message and protects servers from hostile or corrupt peers.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned when an incoming frame header announces
+// a payload larger than MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// ErrMalformed is returned when a payload cannot be decoded as a Message.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Message is a verb plus a set of string key/value fields. It is the
+// unit of exchange on every control connection.
+type Message struct {
+	Verb   string
+	Fields map[string]string
+}
+
+// NewMessage returns a Message with the given verb and an empty field set.
+func NewMessage(verb string) *Message {
+	return &Message{Verb: verb, Fields: make(map[string]string)}
+}
+
+// Set stores a field and returns the message for chaining.
+func (m *Message) Set(key, value string) *Message {
+	if m.Fields == nil {
+		m.Fields = make(map[string]string)
+	}
+	m.Fields[key] = value
+	return m
+}
+
+// SetInt stores an integer field.
+func (m *Message) SetInt(key string, value int) *Message {
+	return m.Set(key, strconv.Itoa(value))
+}
+
+// Get returns the value for key, or "" when absent.
+func (m *Message) Get(key string) string {
+	return m.Fields[key]
+}
+
+// Lookup returns the value for key and whether it was present.
+func (m *Message) Lookup(key string) (string, bool) {
+	v, ok := m.Fields[key]
+	return v, ok
+}
+
+// Int returns the integer value of a field, or the provided default
+// when the field is absent or unparseable.
+func (m *Message) Int(key string, def int) int {
+	v, ok := m.Fields[key]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// String renders the message for logs and error text.
+func (m *Message) String() string {
+	keys := make([]string, 0, len(m.Fields))
+	for k := range m.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := m.Verb
+	for _, k := range keys {
+		s += fmt.Sprintf(" %s=%q", k, m.Fields[k])
+	}
+	return s
+}
+
+// Encode serializes the message payload (without the frame header).
+//
+// Layout: varstr(verb) varint(nfields) { varstr(key) varstr(value) }*
+// where varstr is a decimal length, ':', then the bytes.
+func (m *Message) Encode() []byte {
+	var buf []byte
+	buf = appendVarStr(buf, m.Verb)
+	buf = strconv.AppendInt(buf, int64(len(m.Fields)), 10)
+	buf = append(buf, ';')
+	keys := make([]string, 0, len(m.Fields))
+	for k := range m.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic encoding simplifies testing
+	for _, k := range keys {
+		buf = appendVarStr(buf, k)
+		buf = appendVarStr(buf, m.Fields[k])
+	}
+	return buf
+}
+
+// Decode parses a payload produced by Encode.
+func Decode(payload []byte) (*Message, error) {
+	verb, rest, err := readVarStr(payload)
+	if err != nil {
+		return nil, err
+	}
+	n, rest, err := readCount(rest)
+	if err != nil {
+		return nil, err
+	}
+	msg := &Message{Verb: verb, Fields: make(map[string]string, n)}
+	for i := 0; i < n; i++ {
+		var k, v string
+		k, rest, err = readVarStr(rest)
+		if err != nil {
+			return nil, err
+		}
+		v, rest, err = readVarStr(rest)
+		if err != nil {
+			return nil, err
+		}
+		msg.Fields[k] = v
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))
+	}
+	return msg, nil
+}
+
+func appendVarStr(buf []byte, s string) []byte {
+	buf = strconv.AppendInt(buf, int64(len(s)), 10)
+	buf = append(buf, ':')
+	return append(buf, s...)
+}
+
+func readCount(b []byte) (int, []byte, error) {
+	i := 0
+	for i < len(b) && b[i] != ';' {
+		i++
+	}
+	if i == len(b) {
+		return 0, nil, fmt.Errorf("%w: missing field count", ErrMalformed)
+	}
+	n, err := strconv.Atoi(string(b[:i]))
+	if err != nil || n < 0 {
+		return 0, nil, fmt.Errorf("%w: bad field count", ErrMalformed)
+	}
+	return n, b[i+1:], nil
+}
+
+func readVarStr(b []byte) (string, []byte, error) {
+	i := 0
+	for i < len(b) && b[i] != ':' {
+		i++
+	}
+	if i == len(b) {
+		return "", nil, fmt.Errorf("%w: missing length separator", ErrMalformed)
+	}
+	n, err := strconv.Atoi(string(b[:i]))
+	if err != nil || n < 0 {
+		return "", nil, fmt.Errorf("%w: bad length", ErrMalformed)
+	}
+	rest := b[i+1:]
+	if len(rest) < n {
+		return "", nil, fmt.Errorf("%w: short string", ErrMalformed)
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// Conn wraps an io.ReadWriter with framed Message I/O. Reads and
+// writes are independently serialized, so one goroutine may read while
+// another writes, and multiple goroutines may send concurrently.
+type Conn struct {
+	rmu sync.Mutex
+	wmu sync.Mutex
+	br  *bufio.Reader
+	w   io.Writer
+	rw  io.ReadWriter
+}
+
+// NewConn returns a framed connection over rw.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{br: bufio.NewReader(rw), w: rw, rw: rw}
+}
+
+// Underlying returns the wrapped stream (e.g. to close it).
+func (c *Conn) Underlying() io.ReadWriter { return c.rw }
+
+// Detach returns a reader that first drains any bytes this framed
+// connection has already buffered and then continues from the
+// underlying stream. Use it when switching a connection from framed
+// messages to a raw byte stream (e.g. after a proxy handshake).
+func (c *Conn) Detach() io.Reader { return c.br }
+
+// Send frames and writes one message.
+func (c *Conn) Send(m *Message) error {
+	payload := m.Encode()
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.w.Write(payload)
+	return err
+}
+
+// Recv reads and decodes one message, blocking until a full frame
+// arrives or the stream errors.
+func (c *Conn) Recv() (*Message, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, err
+	}
+	return Decode(payload)
+}
+
+// Close closes the underlying stream when it is an io.Closer.
+func (c *Conn) Close() error {
+	if cl, ok := c.rw.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	cases := []*Message{
+		NewMessage("PING"),
+		NewMessage("PUT").Set("attr", "pid").Set("value", "1234"),
+		NewMessage("GET").Set("attr", ""),
+		NewMessage("X").Set("", "empty key allowed"),
+		NewMessage("ARGS").Set("args", "-p1500 -P2000"),
+		NewMessage("BIN").Set("blob", "a\x00b:c;d\nnewline"),
+		NewMessage("UTF").Set("dæmon", "tøøl"),
+	}
+	for _, m := range cases {
+		got, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", m, err)
+		}
+		if got.Verb != m.Verb || !reflect.DeepEqual(got.Fields, m.Fields) {
+			t.Errorf("round trip mismatch: sent %v got %v", m, got)
+		}
+	}
+}
+
+func TestMessageRoundTripQuick(t *testing.T) {
+	f := func(verb string, keys, vals []string) bool {
+		m := NewMessage(verb)
+		for i, k := range keys {
+			v := ""
+			if i < len(vals) {
+				v = vals[i]
+			}
+			m.Set(k, v)
+		}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Verb == m.Verb && reflect.DeepEqual(got.Fields, m.Fields)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("xyz"),
+		[]byte("4:PING"),           // missing count
+		[]byte("4:PING2;"),         // count 2 with no fields
+		[]byte("-1:X0;"),           // negative length
+		[]byte("4:PINGnope;"),      // non-numeric count
+		[]byte("4:PING0;trailing"), // trailing bytes
+		[]byte("99:short0;"),       // length past end
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestDecodeErrorsWrapMalformed(t *testing.T) {
+	_, err := Decode([]byte("4:PING0;junk"))
+	if !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestMessageAccessors(t *testing.T) {
+	m := NewMessage("V").Set("a", "1").SetInt("n", 42)
+	if m.Get("a") != "1" {
+		t.Errorf("Get(a) = %q", m.Get("a"))
+	}
+	if m.Get("missing") != "" {
+		t.Errorf("Get(missing) = %q", m.Get("missing"))
+	}
+	if v, ok := m.Lookup("n"); !ok || v != "42" {
+		t.Errorf("Lookup(n) = %q, %v", v, ok)
+	}
+	if _, ok := m.Lookup("nope"); ok {
+		t.Error("Lookup(nope) reported present")
+	}
+	if m.Int("n", -1) != 42 {
+		t.Errorf("Int(n) = %d", m.Int("n", -1))
+	}
+	if m.Int("a", -1) != 1 {
+		t.Errorf("Int(a) = %d", m.Int("a", -1))
+	}
+	if m.Int("missing", 7) != 7 {
+		t.Errorf("Int(missing) default = %d", m.Int("missing", 7))
+	}
+	m2 := &Message{Verb: "W"} // nil Fields
+	m2.Set("k", "v")
+	if m2.Get("k") != "v" {
+		t.Error("Set on nil Fields map failed")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := NewMessage("PUT").Set("b", "2").Set("a", "1")
+	s := m.String()
+	if !strings.HasPrefix(s, "PUT ") {
+		t.Errorf("String() = %q, want PUT prefix", s)
+	}
+	// Keys must be sorted for deterministic logs.
+	if strings.Index(s, `a="1"`) > strings.Index(s, `b="2"`) {
+		t.Errorf("String() keys not sorted: %q", s)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	m := NewMessage("PUT").Set("z", "1").Set("a", "2").Set("m", "3")
+	first := m.Encode()
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(first, m.Encode()) {
+			t.Fatal("Encode is not deterministic")
+		}
+	}
+}
+
+func TestConnSendRecvPipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewConn(a), NewConn(b)
+
+	go func() {
+		ca.Send(NewMessage("HELLO").Set("who", "lass"))
+	}()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Verb != "HELLO" || got.Get("who") != "lass" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestConnManyMessagesInOrder(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewConn(a), NewConn(b)
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			ca.Send(NewMessage("SEQ").SetInt("i", i))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if m.Int("i", -1) != i {
+			t.Fatalf("message %d arrived out of order: %v", i, m)
+		}
+	}
+}
+
+func TestConnConcurrentSenders(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewConn(a), NewConn(b)
+	const senders, per = 8, 25
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ca.Send(NewMessage("M").SetInt("s", s).SetInt("i", i)); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	seen := make(map[int]int)
+	for i := 0; i < senders*per; i++ {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		seen[m.Int("s", -1)]++
+	}
+	wg.Wait()
+	for s := 0; s < senders; s++ {
+		if seen[s] != per {
+			t.Errorf("sender %d delivered %d messages, want %d", s, seen[s], per)
+		}
+	}
+}
+
+func TestConnRecvEOF(t *testing.T) {
+	a, b := net.Pipe()
+	cb := NewConn(b)
+	a.Close()
+	if _, err := cb.Recv(); err == nil {
+		t.Error("Recv on closed pipe succeeded")
+	}
+	b.Close()
+}
+
+func TestConnRejectsOversizeHeader(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		// A header announcing more than MaxFrameSize.
+		a.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	}()
+	if _, err := NewConn(b).Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestConnSendRejectsOversizeMessage(t *testing.T) {
+	var sink bytes.Buffer
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{&sink, &sink})
+	huge := NewMessage("HUGE").Set("v", strings.Repeat("x", MaxFrameSize))
+	if err := c.Send(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestConnCloseClosesUnderlying(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := NewConn(a)
+	if c.Underlying() != a {
+		t.Error("Underlying did not return the wrapped stream")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Error("write after Close succeeded")
+	}
+}
+
+func TestConnCloseNonCloser(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{&buf, &buf})
+	if err := c.Close(); err != nil {
+		t.Errorf("Close on non-closer: %v", err)
+	}
+}
