@@ -1,0 +1,29 @@
+# Build and verification entry points. `make tier1` is the gate every
+# change must pass: vet + build + full test suite under the race
+# detector. `make fuzz` is a short native-fuzzing smoke run over the
+# two parsers that face untrusted bytes (the wire decoder and the
+# ClassAd expression parser).
+
+GO ?= go
+
+.PHONY: all tier1 vet build test race fuzz
+
+all: tier1
+
+tier1: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecode -fuzztime=10s
+	$(GO) test ./internal/classad -run='^$$' -fuzz=FuzzParse -fuzztime=10s

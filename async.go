@@ -32,12 +32,14 @@ type Callback func(r Result, arg any)
 // queued and will run on the next ServiceEvents call. This is
 // tdp_async_get.
 func (h *Handle) AsyncGet(attribute string, cb Callback, arg any) error {
+	done := h.observe("async_get")
 	h.traceStep("tdp_async_get", attribute)
 	ch, err := h.lass.GetAsync(attribute)
 	if err != nil {
+		done()
 		return err
 	}
-	go h.post(ch, cb, arg)
+	go h.post(ch, cb, arg, done)
 	return nil
 }
 
@@ -45,22 +47,29 @@ func (h *Handle) AsyncGet(attribute string, cb Callback, arg any) error {
 // once the server acknowledges (or the operation fails). This is
 // tdp_async_put.
 func (h *Handle) AsyncPut(attribute, value string, cb Callback, arg any) error {
+	done := h.observe("async_put")
 	h.traceStep("tdp_async_put", attribute+"="+value)
 	ch, err := h.lass.PutAsync(attribute, value)
 	if err != nil {
+		done()
 		return err
 	}
-	go h.post(ch, cb, arg)
+	go h.post(ch, cb, arg, done)
 	return nil
 }
 
-func (h *Handle) post(ch <-chan attrspace.Result, cb Callback, arg any) {
+// post waits for the transport completion, records the operation's
+// end-to-end latency, and queues the callback; the pending-event gauge
+// tracks the backlog the poll loop has yet to service.
+func (h *Handle) post(ch <-chan attrspace.Result, cb Callback, arg any, done func()) {
 	r := <-ch
+	done()
 	res := Result{Attr: r.Attr, Value: r.Value, Err: r.Err}
 	if cb == nil {
 		return
 	}
 	h.queue.Post(func() { cb(res, arg) })
+	h.noteEventDepth()
 }
 
 // ServiceEvents runs every queued completion callback on the calling
@@ -69,8 +78,11 @@ func (h *Handle) post(ch <-chan attrspace.Result, cb Callback, arg any) {
 // therefore execute at a well-known, safe point (§3.3). This is
 // tdp_service_event.
 func (h *Handle) ServiceEvents() int {
+	defer h.observe("service_events")()
 	h.traceStep("tdp_service_event", "")
-	return h.queue.Service()
+	n := h.queue.Service()
+	h.noteEventDepth()
+	return n
 }
 
 // Activity returns a channel that becomes readable when completion
@@ -98,6 +110,7 @@ func (h *Handle) WatchUpdates(cb func(attr, value, op string)) error {
 				continue
 			}
 			h.queue.Post(func() { cb(ev.Attr, ev.Value, ev.Op) })
+			h.noteEventDepth()
 		}
 	}()
 	return nil

@@ -8,18 +8,30 @@ import (
 // (§3.2): tdp_put and tdp_get plus the convenience lookups built on
 // them. All default to the local space (LASS); the *Global variants
 // address the central space (CASS).
+//
+// Each operation counts under "tdp.ops.*" / "tdp.latency.*" when the
+// handle has a telemetry registry, and the *Ctx variants propagate a
+// caller span (telemetry.NewContext) to the server as _tid/_sid.
 
 // Put stores attribute = value in the local space. It blocks until the
 // value is visible to other participants (the paper's blocking
 // tdp_put).
 func (h *Handle) Put(attribute, value string) error {
+	return h.PutCtx(context.Background(), attribute, value)
+}
+
+// PutCtx is Put with a context for cancellation and span propagation.
+func (h *Handle) PutCtx(ctx context.Context, attribute, value string) error {
+	defer h.observe("put")()
 	h.traceStep("tdp_put", attribute+"="+value)
-	return h.lass.Put(attribute, value)
+	return h.lass.PutCtx(ctx, attribute, value)
 }
 
 // Get blocks until the attribute exists in the local space and returns
-// its value (the paper's blocking tdp_get). Cancel through ctx.
+// its value (the paper's blocking tdp_get). Cancel through ctx; a span
+// carried by ctx propagates to the server.
 func (h *Handle) Get(ctx context.Context, attribute string) (string, error) {
+	defer h.observe("get")()
 	h.traceStep("tdp_get", attribute)
 	return h.lass.Get(ctx, attribute)
 }
@@ -27,26 +39,36 @@ func (h *Handle) Get(ctx context.Context, attribute string) (string, error) {
 // TryGet returns the attribute's current value without blocking, or
 // ErrNotFound.
 func (h *Handle) TryGet(attribute string) (string, error) {
+	defer h.observe("tryget")()
 	return h.lass.TryGet(attribute)
 }
 
 // Delete removes an attribute from the local space.
 func (h *Handle) Delete(attribute string) error {
+	defer h.observe("delete")()
 	return h.lass.Delete(attribute)
 }
 
 // Snapshot copies every attribute in the local space's context.
 func (h *Handle) Snapshot() (map[string]string, error) {
+	defer h.observe("snapshot")()
 	return h.lass.Snapshot()
 }
 
 // PutGlobal stores attribute = value in the central space (CASS).
 func (h *Handle) PutGlobal(attribute, value string) error {
+	return h.PutGlobalCtx(context.Background(), attribute, value)
+}
+
+// PutGlobalCtx is PutGlobal with a context for cancellation and span
+// propagation.
+func (h *Handle) PutGlobalCtx(ctx context.Context, attribute, value string) error {
 	if h.cass == nil {
 		return ErrNoCASS
 	}
+	defer h.observe("put_global")()
 	h.traceStep("tdp_put_global", attribute+"="+value)
-	return h.cass.Put(attribute, value)
+	return h.cass.PutCtx(ctx, attribute, value)
 }
 
 // GetGlobal blocks until the attribute exists in the central space.
@@ -54,6 +76,7 @@ func (h *Handle) GetGlobal(ctx context.Context, attribute string) (string, error
 	if h.cass == nil {
 		return "", ErrNoCASS
 	}
+	defer h.observe("get_global")()
 	h.traceStep("tdp_get_global", attribute)
 	return h.cass.Get(ctx, attribute)
 }
@@ -63,6 +86,7 @@ func (h *Handle) TryGetGlobal(attribute string) (string, error) {
 	if h.cass == nil {
 		return "", ErrNoCASS
 	}
+	defer h.observe("tryget_global")()
 	return h.cass.TryGet(attribute)
 }
 

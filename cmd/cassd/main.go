@@ -4,9 +4,13 @@
 // LASS/CASS distinction is placement, not implementation — but is
 // provided as its own command so deployments read naturally.
 //
+// Like lassd it answers the STATS verb from its telemetry registry
+// (`tdpattr stats`) and can self-publish tdp.monitor.cass.* attributes.
+//
 // Usage:
 //
-//	cassd [-addr host:port] [-v]
+//	cassd [-addr host:port] [-loglevel debug|info|error|silent]
+//	      [-monitor 5s] [-monitor-context name]
 package main
 
 import (
@@ -16,26 +20,33 @@ import (
 	"os/signal"
 
 	"tdp/internal/attrspace"
+	"tdp/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4500", "listen address")
-	verbose := flag.Bool("v", false, "log connection errors")
+	logLevel := flag.String("loglevel", "error", "log verbosity: debug|info|error|silent")
+	monitor := flag.Duration("monitor", 0, "self-publish metrics as tdp.monitor.cass.* at this interval (0 disables)")
+	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
-	if *verbose {
-		srv.SetLogf(log.Printf)
-	}
+	srv.SetLogger(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "cassd"))
+	srv.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("cassd"))
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		log.Fatalf("cassd: %v", err)
 	}
 	log.Printf("cassd: serving central attribute space on %s", bound)
+	if *monitor > 0 {
+		stop := srv.StartMonitorPublisher(*monitorCtx, "cass", *monitor)
+		defer stop()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	log.Printf("cassd: shutting down")
+	snap := srv.Telemetry().Snapshot()
+	log.Printf("cassd: shutting down; final telemetry:\n%s", snap.Text())
 	srv.Close()
 }

@@ -2,9 +2,14 @@
 // per-execution-host attribute server of TDP §2.1. Resource manager
 // and tool daemons on the host connect to it with tdp.Init.
 //
+// The server answers the STATS verb from its telemetry registry
+// (inspect it live with `tdpattr stats`), and -monitor makes it
+// self-publish metrics as tdp.monitor.lass.* attributes.
+//
 // Usage:
 //
-//	lassd [-addr host:port] [-v]
+//	lassd [-addr host:port] [-loglevel debug|info|error|silent]
+//	      [-monitor 5s] [-monitor-context name]
 package main
 
 import (
@@ -14,27 +19,33 @@ import (
 	"os/signal"
 
 	"tdp/internal/attrspace"
+	"tdp/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4510", "listen address")
-	verbose := flag.Bool("v", false, "log connection errors")
+	logLevel := flag.String("loglevel", "error", "log verbosity: debug|info|error|silent")
+	monitor := flag.Duration("monitor", 0, "self-publish metrics as tdp.monitor.lass.* at this interval (0 disables)")
+	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
-	if *verbose {
-		srv.SetLogf(log.Printf)
-	}
+	srv.SetLogger(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "lassd"))
+	srv.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("lassd"))
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		log.Fatalf("lassd: %v", err)
 	}
 	log.Printf("lassd: serving attribute space on %s", bound)
+	if *monitor > 0 {
+		stop := srv.StartMonitorPublisher(*monitorCtx, "lass", *monitor)
+		defer stop()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	puts, gets, tryGets, deletes := srv.Stats()
-	log.Printf("lassd: shutting down (puts=%d gets=%d trygets=%d deletes=%d)", puts, gets, tryGets, deletes)
+	snap := srv.Telemetry().Snapshot()
+	log.Printf("lassd: shutting down; final telemetry:\n%s", snap.Text())
 	srv.Close()
 }

@@ -11,6 +11,7 @@
 //	tdpattr -server host:port -context job-1 list
 //	tdpattr -server host:port -context job-1 watch          # stream events
 //	tdpattr -server host:port -context job-1 hold           # pin the context
+//	tdpattr -server host:port stats                         # dump server telemetry
 //
 // Contexts are reference counted (§3.2): a context is destroyed when
 // its last participant exits, and each tdpattr invocation is a full
@@ -104,6 +105,15 @@ func main() {
 		}
 		fmt.Printf("holding context %q for %v\n", *ctxName, d)
 		time.Sleep(d)
+	case "stats":
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		daemon, snap, err := c.ServerStats(ctx)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("# daemon %s\n", daemon)
+		fmt.Print(snap.Text())
 	case "watch":
 		if err := c.Subscribe(); err != nil {
 			fail(err)
@@ -126,7 +136,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tdpattr [-server addr] [-context name] put|get|tryget|delete|list|watch [attr [value]]")
+	fmt.Fprintln(os.Stderr, "usage: tdpattr [-server addr] [-context name] put|get|tryget|delete|list|watch|stats [attr [value]]")
 	os.Exit(2)
 }
 

@@ -7,9 +7,16 @@
 //
 // The timing experiments (E11–E15) are `go test -bench=.` benchmarks;
 // see bench_test.go.
+//
+// With -metrics, the run also writes BENCH_<experiment>.json: a
+// machine-readable record of the run (wall time plus a snapshot of the
+// process-wide telemetry registry — wire traffic, attribute ops,
+// proxy relay counts, Paradyn sample volume) for scripted comparison
+// across runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,11 +29,14 @@ import (
 	"tdp/internal/paradyn"
 	"tdp/internal/procsim"
 	"tdp/internal/proxy"
+	"tdp/internal/telemetry"
 )
 
 func main() {
 	exp := flag.String("experiment", "matrix", "experiment to run: matrix | fig1 | footprint")
+	metrics := flag.Bool("metrics", false, "write BENCH_<experiment>.json with a telemetry snapshot")
 	flag.Parse()
+	start := time.Now()
 	switch *exp {
 	case "matrix":
 		runMatrix()
@@ -38,6 +48,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tdpbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *metrics {
+		writeMetrics(*exp, start)
+	}
+}
+
+// benchRecord is the BENCH_*.json document shape. Telemetry is the
+// process-wide registry, which every simulated daemon in this process
+// counted into during the experiment.
+type benchRecord struct {
+	Experiment string             `json:"experiment"`
+	StartedAt  time.Time          `json:"started_at"`
+	DurationMS int64              `json:"duration_ms"`
+	Telemetry  telemetry.Snapshot `json:"telemetry"`
+}
+
+func writeMetrics(experiment string, start time.Time) {
+	rec := benchRecord{
+		Experiment: experiment,
+		StartedAt:  start.UTC(),
+		DurationMS: time.Since(start).Milliseconds(),
+		Telemetry:  telemetry.Default().Snapshot(),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatalf("tdpbench: encode metrics: %v", err)
+	}
+	name := "BENCH_" + experiment + ".json"
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("tdpbench: write %s: %v", name, err)
+	}
+	fmt.Printf("metrics written to %s\n", name)
 }
 
 // runMatrix executes all RM × tool pairings (experiment E9).
@@ -87,6 +128,7 @@ func runFig1() {
 	}
 
 	fw := proxy.NewForwarder(gateway.Dial, "desktop:2090")
+	fw.Instrument(telemetry.Default())
 	fwListener, _ := gateway.Listen(7000)
 	go fw.Serve(fwListener)
 	defer fw.Close()
@@ -122,6 +164,8 @@ queue
 	}
 	tunnels, bytes := fw.Stats()
 	dials, blocked := nw.Stats()
+	telemetry.Default().Gauge("netsim.dials").Set(int64(dials))
+	telemetry.Default().Gauge("netsim.blocked").Set(int64(blocked))
 	fmt.Printf("  job: %s\n", st)
 	if fn, share, ok := fe.Bottleneck(); ok {
 		fmt.Printf("  bottleneck found across the firewall: %s (%.0f%%)\n", fn, share*100)

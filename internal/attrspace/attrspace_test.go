@@ -395,7 +395,7 @@ func TestConcurrentClients(t *testing.T) {
 func TestHelloTwiceRejected(t *testing.T) {
 	_, addr := startServer(t)
 	c := dialT(t, addr, "j")
-	reply, err := c.call(context.Background(), wire.NewMessage("HELLO").Set("context", "other"))
+	reply, err := c.call(context.Background(), "HELLO", wire.NewMessage("HELLO").Set("context", "other"))
 	if err != nil {
 		t.Fatalf("second HELLO transport error: %v", err)
 	}
@@ -407,7 +407,7 @@ func TestHelloTwiceRejected(t *testing.T) {
 func TestUnknownVerbRejected(t *testing.T) {
 	_, addr := startServer(t)
 	c := dialT(t, addr, "j")
-	reply, err := c.call(context.Background(), wire.NewMessage("BOGUS"))
+	reply, err := c.call(context.Background(), "BOGUS", wire.NewMessage("BOGUS"))
 	if err != nil {
 		t.Fatalf("transport error: %v", err)
 	}

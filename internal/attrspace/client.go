@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"tdp/internal/attr"
+	"tdp/internal/telemetry"
 	"tdp/internal/wire"
 )
 
@@ -48,6 +51,12 @@ type Client struct {
 
 	events chan Event
 	subbed bool
+
+	// Optional telemetry, installed by SetTelemetry. reg counts
+	// per-verb ops and latencies under "client.*"; tracer starts a
+	// root span per operation when the caller supplied none.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
 }
 
 // Dial connects to the server at addr using dial and joins the named
@@ -68,7 +77,7 @@ func Dial(dial DialFunc, addr, contextName string) (*Client, error) {
 		events:  make(chan Event, 64),
 	}
 	go c.readLoop()
-	reply, err := c.call(context.Background(), wire.NewMessage("HELLO").Set("context", contextName))
+	reply, err := c.call(context.Background(), "HELLO", wire.NewMessage("HELLO").Set("context", contextName))
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("attrspace: hello: %w", err)
@@ -135,8 +144,65 @@ func (c *Client) fail(err error) {
 	c.raw.Close()
 }
 
+// SetTelemetry installs a metrics registry (per-verb op counters and
+// latency histograms under "client.*", plus the shared wire byte
+// counters) and a tracer. With a tracer set, every operation without a
+// caller-supplied span becomes its own root trace; either way the
+// trace/span IDs ride the request as the reserved _tid/_sid fields so
+// the server logs its span under the same trace. Either argument may
+// be nil. Call before issuing operations.
+func (c *Client) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	c.mu.Lock()
+	c.reg = reg
+	c.tracer = tracer
+	c.mu.Unlock()
+	if reg != nil {
+		c.wc.InstrumentRegistry(reg)
+	}
+}
+
+// instrument opens the client-side observation of one operation: it
+// bumps the verb counter, starts (or continues) a span, stamps the
+// trace fields onto m, and returns a func to call when the reply is
+// in. Returns a no-op when no telemetry is configured and no span is
+// in ctx.
+func (c *Client) instrument(ctx context.Context, verb string, m *wire.Message) func() {
+	c.mu.Lock()
+	reg, tracer := c.reg, c.tracer
+	c.mu.Unlock()
+
+	var span *telemetry.Span
+	if parent := telemetry.FromContext(ctx); parent != nil {
+		span = parent.StartChild("client." + strings.ToLower(verb))
+	} else if tracer != nil {
+		span = tracer.StartSpan("client." + strings.ToLower(verb))
+	}
+	if span != nil {
+		if a := m.Get("attr"); a != "" {
+			span.Set("attr", a)
+		}
+		m.SetTrace(span.TraceID(), span.SpanID())
+	}
+
+	var lat *telemetry.Histogram
+	if reg != nil {
+		v := strings.ToLower(verb)
+		reg.Counter("client.ops." + v).Inc()
+		lat = reg.Histogram("client.latency."+v, nil)
+	}
+	start := time.Now()
+	return func() {
+		if lat != nil {
+			lat.Since(start)
+		}
+		span.End()
+	}
+}
+
 // call sends a request and waits for its tagged reply.
-func (c *Client) call(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+func (c *Client) call(ctx context.Context, verb string, m *wire.Message) (*wire.Message, error) {
+	done := c.instrument(ctx, verb, m)
+	defer done()
 	ch, id, err := c.send(m)
 	if err != nil {
 		return nil, err
@@ -192,7 +258,13 @@ func replyErr(reply *wire.Message) error {
 // Put stores attribute = value and waits for the acknowledgement,
 // matching the paper's blocking tdp_put.
 func (c *Client) Put(attribute, value string) error {
-	reply, err := c.call(context.Background(), wire.NewMessage("PUT").Set("attr", attribute).Set("value", value))
+	return c.PutCtx(context.Background(), attribute, value)
+}
+
+// PutCtx is Put with a context; a span carried by ctx (see
+// telemetry.NewContext) propagates to the server as _tid/_sid.
+func (c *Client) PutCtx(ctx context.Context, attribute, value string) error {
+	reply, err := c.call(ctx, "PUT", wire.NewMessage("PUT").Set("attr", attribute).Set("value", value))
 	if err != nil {
 		return err
 	}
@@ -202,7 +274,7 @@ func (c *Client) Put(attribute, value string) error {
 // Get blocks until the attribute exists and returns its value (the
 // paper's blocking tdp_get). Cancel via ctx.
 func (c *Client) Get(ctx context.Context, attribute string) (string, error) {
-	reply, err := c.call(ctx, wire.NewMessage("GET").Set("attr", attribute))
+	reply, err := c.call(ctx, "GET", wire.NewMessage("GET").Set("attr", attribute))
 	if err != nil {
 		return "", err
 	}
@@ -216,13 +288,17 @@ func (c *Client) Get(ctx context.Context, attribute string) (string, error) {
 // returned channel: the transport half of tdp_async_get. The tdp
 // package layers callback queueing and ServiceEvents on top.
 func (c *Client) GetAsync(attribute string) (<-chan Result, error) {
-	ch, _, err := c.send(wire.NewMessage("GET").Set("attr", attribute))
+	m := wire.NewMessage("GET").Set("attr", attribute)
+	done := c.instrument(context.Background(), "GET", m)
+	ch, _, err := c.send(m)
 	if err != nil {
+		done()
 		return nil, err
 	}
 	out := make(chan Result, 1)
 	go func() {
 		reply := <-ch
+		done()
 		if err := replyErr(reply); err != nil {
 			out <- Result{Attr: attribute, Err: err}
 			return
@@ -235,13 +311,17 @@ func (c *Client) GetAsync(attribute string) (<-chan Result, error) {
 // PutAsync issues a PUT whose acknowledgement is delivered on the
 // returned channel: the transport half of tdp_async_put.
 func (c *Client) PutAsync(attribute, value string) (<-chan Result, error) {
-	ch, _, err := c.send(wire.NewMessage("PUT").Set("attr", attribute).Set("value", value))
+	m := wire.NewMessage("PUT").Set("attr", attribute).Set("value", value)
+	done := c.instrument(context.Background(), "PUT", m)
+	ch, _, err := c.send(m)
 	if err != nil {
+		done()
 		return nil, err
 	}
 	out := make(chan Result, 1)
 	go func() {
 		reply := <-ch
+		done()
 		out <- Result{Attr: attribute, Value: value, Err: replyErr(reply)}
 	}()
 	return out, nil
@@ -257,7 +337,13 @@ type Result struct {
 // TryGet returns the current value without blocking; ErrNotFound when
 // the attribute is absent.
 func (c *Client) TryGet(attribute string) (string, error) {
-	reply, err := c.call(context.Background(), wire.NewMessage("TRYGET").Set("attr", attribute))
+	return c.TryGetCtx(context.Background(), attribute)
+}
+
+// TryGetCtx is TryGet with a context for cancellation and span
+// propagation.
+func (c *Client) TryGetCtx(ctx context.Context, attribute string) (string, error) {
+	reply, err := c.call(ctx, "TRYGET", wire.NewMessage("TRYGET").Set("attr", attribute))
 	if err != nil {
 		return "", err
 	}
@@ -272,16 +358,41 @@ func (c *Client) TryGet(attribute string) (string, error) {
 
 // Delete removes an attribute.
 func (c *Client) Delete(attribute string) error {
-	reply, err := c.call(context.Background(), wire.NewMessage("DELETE").Set("attr", attribute))
+	return c.DeleteCtx(context.Background(), attribute)
+}
+
+// DeleteCtx is Delete with a context for cancellation and span
+// propagation.
+func (c *Client) DeleteCtx(ctx context.Context, attribute string) error {
+	reply, err := c.call(ctx, "DELETE", wire.NewMessage("DELETE").Set("attr", attribute))
 	if err != nil {
 		return err
 	}
 	return replyErr(reply)
 }
 
+// ServerStats asks the server to dump its telemetry registry (the
+// STATS verb) and returns the decoded snapshot plus the daemon name
+// the server reports itself as. STATS needs no joined context, and
+// any client — tdpattr included — may issue it.
+func (c *Client) ServerStats(ctx context.Context) (daemon string, snap telemetry.Snapshot, err error) {
+	reply, err := c.call(ctx, "STATS", wire.NewMessage("STATS"))
+	if err != nil {
+		return "", telemetry.Snapshot{}, err
+	}
+	if err := replyErr(reply); err != nil {
+		return "", telemetry.Snapshot{}, err
+	}
+	snap, err = telemetry.ParseSnapshot([]byte(reply.Get("json")))
+	if err != nil {
+		return "", telemetry.Snapshot{}, err
+	}
+	return reply.Get("daemon"), snap, nil
+}
+
 // Snapshot returns a copy of all attributes in the context.
 func (c *Client) Snapshot() (map[string]string, error) {
-	reply, err := c.call(context.Background(), wire.NewMessage("SNAP"))
+	reply, err := c.call(context.Background(), "SNAP", wire.NewMessage("SNAP"))
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +421,7 @@ func (c *Client) Subscribe() error {
 	}
 	c.subbed = true
 	c.mu.Unlock()
-	reply, err := c.call(context.Background(), wire.NewMessage("SUB"))
+	reply, err := c.call(context.Background(), "SUB", wire.NewMessage("SUB"))
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@
 //	  DELETE  id=<n> attr=<a>                remove, ack with OK
 //	  SNAP    id=<n>                         dump all attributes
 //	  SUB     id=<n>                         start event push, ack with OK
+//	  STATS   id=<n>                         dump daemon telemetry (no HELLO needed)
 //	  EXIT                                   leave context and disconnect
 //
 //	server → client:
@@ -22,26 +23,46 @@
 //	  VALUE   id=<n> attr=<a> value=<v>
 //	  NOTFOUND id=<n> attr=<a>
 //	  SNAPV   id=<n> n=<count> k0=.. v0=.. k1=..
+//	  STATSV  id=<n> daemon=<name> json=<telemetry snapshot>
 //	  ERROR   id=<n> error=<text>
 //	  EVENT   attr=<a> value=<v> op=<put|delete|destroy> seq=<n>
 //
 // Every reply carries the request id, so a client may keep many
 // blocking GETs outstanding on one connection — this is what makes the
 // paper's tdp_async_get natural to implement.
+//
+// Requests may additionally carry the reserved _tid/_sid span-tracing
+// fields (wire.FieldTraceID); the server then records its share of the
+// operation in its span log under the caller's trace ID, which is how
+// one Put can be followed front-end → CASS → proxy → LASS.
 package attrspace
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"tdp/internal/attr"
+	"tdp/internal/telemetry"
 	"tdp/internal/wire"
 )
+
+// serverVerbs are the request verbs the server counts and times; one
+// counter "attrspace.ops.<verb>" and one latency histogram
+// "attrspace.latency.<verb>" exist per verb.
+var serverVerbs = []string{"hello", "put", "get", "tryget", "delete", "snap", "sub", "stats"}
+
+// verbMetrics caches one verb's hot-path metric handles.
+type verbMetrics struct {
+	ops *telemetry.Counter
+	lat *telemetry.Histogram
+}
 
 // Server is one attribute space server instance (a LASS or the CASS).
 type Server struct {
@@ -51,10 +72,14 @@ type Server struct {
 	listener net.Listener
 	conns    map[*serverConn]struct{}
 	closed   bool
-	logf     func(format string, args ...any)
 
-	// statistics for the characterization benchmarks
-	puts, gets, tryGets, deletes, snaps int64
+	// Telemetry. reg/tracer/logger are replaceable before Serve via
+	// SetTelemetry/SetLogger; verbs caches per-verb handles.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	logger *telemetry.Logger
+	verbs  map[string]verbMetrics
+	gConns *telemetry.Gauge
 }
 
 // NewServer returns a server around a fresh attribute space.
@@ -65,30 +90,102 @@ func NewServer() *Server {
 // NewServerWithSpace returns a server around an existing space, which
 // lets tests and the in-process fast path share state with the server.
 func NewServerWithSpace(space *attr.Space) *Server {
-	return &Server{
+	s := &Server{
 		space: space,
 		conns: make(map[*serverConn]struct{}),
-		logf:  func(string, ...any) {},
+	}
+	s.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("attrspace"))
+	return s
+}
+
+// SetTelemetry installs the registry this server counts into and the
+// tracer holding its span log. Either may be nil to keep the current
+// one. The tracer's actor name is what distinguishes a CASS from a
+// LASS in cross-daemon traces; cmd/cassd passes NewTracer("cassd").
+// Call before Serve.
+func (s *Server) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg != nil {
+		s.reg = reg
+		s.verbs = make(map[string]verbMetrics, len(serverVerbs))
+		for _, v := range serverVerbs {
+			s.verbs[v] = verbMetrics{
+				ops: reg.Counter("attrspace.ops." + v),
+				lat: reg.Histogram("attrspace.latency."+v, nil),
+			}
+		}
+		s.gConns = reg.Gauge("attrspace.conns")
+	}
+	if tracer != nil {
+		s.tracer = tracer
 	}
 }
 
-// SetLogf installs a logging function (e.g. log.Printf) for connection
-// level diagnostics. The default discards.
+// Telemetry returns the server's metrics registry.
+func (s *Server) Telemetry() *telemetry.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg
+}
+
+// Tracer returns the server's span log.
+func (s *Server) Tracer() *telemetry.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer
+}
+
+// SetLogger installs the leveled logger used for connection-level
+// diagnostics and serve errors. The default (nil) discards, which is
+// what tests want.
+func (s *Server) SetLogger(l *telemetry.Logger) {
+	s.mu.Lock()
+	s.logger = l
+	s.mu.Unlock()
+}
+
+// SetLogf installs a printf-style logging function (e.g. log.Printf).
+// It is the legacy form of SetLogger; both paths now feed the same
+// leveled logger.
 func (s *Server) SetLogf(f func(format string, args ...any)) {
-	if f == nil {
-		f = func(string, ...any) {}
-	}
-	s.logf = f
+	s.SetLogger(telemetry.FuncLogger(f))
+}
+
+func (s *Server) log() *telemetry.Logger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logger
 }
 
 // Space returns the underlying attribute space.
 func (s *Server) Space() *attr.Space { return s.space }
 
-// Stats returns operation counters since start.
+// Stats returns operation counters since start. It reads the same
+// registry the STATS verb exposes; the method survives as a
+// convenience for the characterization benchmarks.
 func (s *Server) Stats() (puts, gets, tryGets, deletes int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.puts, s.gets, s.tryGets, s.deletes
+	reg := s.reg
+	s.mu.Unlock()
+	return reg.Counter("attrspace.ops.put").Value(),
+		reg.Counter("attrspace.ops.get").Value(),
+		reg.Counter("attrspace.ops.tryget").Value(),
+		reg.Counter("attrspace.ops.delete").Value()
+}
+
+// observe bumps a verb's counter; the returned func records its
+// latency when the reply goes out.
+func (s *Server) observe(verb string) func() {
+	s.mu.Lock()
+	vm, ok := s.verbs[verb]
+	s.mu.Unlock()
+	if !ok {
+		return func() {}
+	}
+	vm.ops.Inc()
+	start := time.Now()
+	return func() { vm.lat.Since(start) }
 }
 
 // Serve accepts connections on l until Close is called or the listener
@@ -101,6 +198,7 @@ func (s *Server) Serve(l net.Listener) error {
 		return nil
 	}
 	s.listener = l
+	reg := s.reg
 	s.mu.Unlock()
 	for {
 		c, err := l.Accept()
@@ -114,6 +212,7 @@ func (s *Server) Serve(l net.Listener) error {
 			return err
 		}
 		sc := &serverConn{srv: s, wc: wire.NewConn(c), raw: c}
+		sc.wc.InstrumentRegistry(reg)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -121,7 +220,9 @@ func (s *Server) Serve(l net.Listener) error {
 			return nil
 		}
 		s.conns[sc] = struct{}{}
+		s.gConns.Set(int64(len(s.conns)))
 		s.mu.Unlock()
+		s.log().Debugf("attrspace: accepted %v", c.RemoteAddr())
 		go sc.run()
 	}
 }
@@ -151,7 +252,62 @@ func (s *Server) Close() {
 func (s *Server) dropConn(c *serverConn) {
 	s.mu.Lock()
 	delete(s.conns, c)
+	s.gConns.Set(int64(len(s.conns)))
 	s.mu.Unlock()
+}
+
+// StartMonitorPublisher periodically self-publishes this server's
+// registry metrics as attributes named
+// "tdp.monitor.<daemon>.<metric>" into contextName, so tools observe
+// the daemon with the same Get/Snapshot they use for everything else
+// (the paper's own mechanism, turned on the daemons). Histograms
+// publish their count and p50/p99 estimates. The publisher holds a
+// context reference until stop is called, so the published attributes
+// outlive transient clients.
+func (s *Server) StartMonitorPublisher(contextName, daemon string, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ref := s.space.Join(contextName)
+	done := make(chan struct{})
+	var once sync.Once
+	publish := func() {
+		s.mu.Lock()
+		reg := s.reg
+		s.mu.Unlock()
+		snap := reg.Snapshot()
+		prefix := telemetry.MonitorPrefix + daemon + "."
+		for name, v := range snap.Counters {
+			ref.Put(prefix+name, strconv.FormatInt(v, 10))
+		}
+		for name, v := range snap.Gauges {
+			ref.Put(prefix+name, strconv.FormatInt(v, 10))
+		}
+		for name, h := range snap.Histograms {
+			ref.Put(prefix+name+".count", strconv.FormatInt(h.Count, 10))
+			ref.Put(prefix+name+".p50", strconv.FormatFloat(h.Quantile(0.5), 'g', 6, 64))
+			ref.Put(prefix+name+".p99", strconv.FormatFloat(h.Quantile(0.99), 'g', 6, 64))
+		}
+	}
+	publish()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				publish()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			ref.Leave()
+		})
+	}
 }
 
 // serverConn is one client session.
@@ -192,6 +348,7 @@ func (c *serverConn) run() {
 		}
 		switch m.Verb {
 		case "HELLO":
+			done := srv.observe("hello")
 			name := m.Get("context")
 			c.mu.Lock()
 			already := c.ref != nil
@@ -201,11 +358,18 @@ func (c *serverConn) run() {
 			c.mu.Unlock()
 			if already {
 				c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).Set("error", "already joined"))
+				done()
 				continue
 			}
 			c.reply(wire.NewMessage("OK").Set("id", m.Get("id")))
+			done()
 		case "EXIT":
 			return
+		case "STATS":
+			// STATS needs no context: it reports on the daemon, not on
+			// any attribute space, so monitoring tools can probe a
+			// server without joining (and without bumping refcounts).
+			c.handleStats(m)
 		case "PUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
 			c.handleOp(ctx, m)
 		default:
@@ -213,6 +377,40 @@ func (c *serverConn) run() {
 				Set("error", fmt.Sprintf("unknown verb %q", m.Verb)))
 		}
 	}
+}
+
+// startSpan opens this daemon's span for a request when the caller
+// sent trace IDs; untraced requests record nothing.
+func (c *serverConn) startSpan(m *wire.Message) *telemetry.Span {
+	tid, sid := m.Trace()
+	if tid == "" {
+		return nil
+	}
+	srv := c.srv
+	srv.mu.Lock()
+	tracer := srv.tracer
+	srv.mu.Unlock()
+	return tracer.StartChild("attrspace."+strings.ToLower(m.Verb), tid, sid)
+}
+
+func (c *serverConn) handleStats(m *wire.Message) {
+	srv := c.srv
+	done := srv.observe("stats")
+	sp := c.startSpan(m)
+	srv.mu.Lock()
+	reg, tracer := srv.reg, srv.tracer
+	srv.mu.Unlock()
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		c.replyErr(m.Get("id"), err)
+	} else {
+		c.reply(wire.NewMessage("STATSV").
+			Set("id", m.Get("id")).
+			Set("daemon", tracer.Actor()).
+			Set("json", string(data)))
+	}
+	done()
+	sp.End()
 }
 
 func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
@@ -225,21 +423,26 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		return
 	}
 	srv := c.srv
+	done := srv.observe(strings.ToLower(m.Verb))
+	sp := c.startSpan(m)
+	if sp != nil && m.Get("attr") != "" {
+		sp.Set("attr", m.Get("attr"))
+	}
+	finish := func() {
+		done()
+		sp.End()
+	}
 	switch m.Verb {
 	case "PUT":
 		if err := ref.Put(m.Get("attr"), m.Get("value")); err != nil {
 			c.replyErr(id, err)
+			finish()
 			return
 		}
-		srv.mu.Lock()
-		srv.puts++
-		srv.mu.Unlock()
 		c.reply(wire.NewMessage("OK").Set("id", id))
+		finish()
 	case "TRYGET":
 		v, err := ref.TryGet(m.Get("attr"))
-		srv.mu.Lock()
-		srv.tryGets++
-		srv.mu.Unlock()
 		switch {
 		case errors.Is(err, attr.ErrNotFound):
 			c.reply(wire.NewMessage("NOTFOUND").Set("id", id).Set("attr", m.Get("attr")))
@@ -248,40 +451,39 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		default:
 			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", m.Get("attr")).Set("value", v))
 		}
+		finish()
 	case "GET":
 		// Blocking get: serve it on its own goroutine so this session
 		// keeps processing other requests (the multiplexing that makes
-		// async gets possible on a single connection).
+		// async gets possible on a single connection). The latency
+		// histogram therefore includes the time spent blocked — the
+		// number a tool writer actually experiences.
 		attribute := m.Get("attr")
-		srv.mu.Lock()
-		srv.gets++
-		srv.mu.Unlock()
 		go func() {
 			v, err := ref.Get(ctx, attribute)
 			if err != nil {
 				c.replyErr(id, err)
+				finish()
 				return
 			}
 			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).Set("value", v))
+			finish()
 		}()
 	case "DELETE":
 		if err := ref.Delete(m.Get("attr")); err != nil {
 			c.replyErr(id, err)
+			finish()
 			return
 		}
-		srv.mu.Lock()
-		srv.deletes++
-		srv.mu.Unlock()
 		c.reply(wire.NewMessage("OK").Set("id", id))
+		finish()
 	case "SNAP":
 		snap, err := ref.Snapshot()
 		if err != nil {
 			c.replyErr(id, err)
+			finish()
 			return
 		}
-		srv.mu.Lock()
-		srv.snaps++
-		srv.mu.Unlock()
 		reply := wire.NewMessage("SNAPV").Set("id", id).SetInt("n", len(snap))
 		i := 0
 		for k, v := range snap {
@@ -290,6 +492,7 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 			i++
 		}
 		c.reply(reply)
+		finish()
 	case "SUB":
 		c.mu.Lock()
 		already := c.sub != nil
@@ -301,10 +504,12 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		c.mu.Unlock()
 		if already {
 			c.reply(wire.NewMessage("ERROR").Set("id", id).Set("error", "already subscribed"))
+			finish()
 			return
 		}
 		if err != nil {
 			c.replyErr(id, err)
+			finish()
 			return
 		}
 		go func() {
@@ -320,12 +525,13 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 			}
 		}()
 		c.reply(wire.NewMessage("OK").Set("id", id))
+		finish()
 	}
 }
 
 func (c *serverConn) reply(m *wire.Message) {
 	if err := c.wc.Send(m); err != nil {
-		c.srv.logf("attrspace: send to %v failed: %v", c.raw.RemoteAddr(), err)
+		c.srv.log().Debugf("attrspace: send to %v failed: %v", c.raw.RemoteAddr(), err)
 	}
 }
 
@@ -342,7 +548,7 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	}
 	go func() {
 		if err := s.Serve(l); err != nil {
-			log.Printf("attrspace: serve: %v", err)
+			s.log().Errorf("attrspace: serve: %v", err)
 		}
 	}()
 	return l.Addr().String(), nil

@@ -1,0 +1,204 @@
+package attrspace
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tdp/internal/proxy"
+	"tdp/internal/telemetry"
+	"tdp/internal/wire"
+)
+
+// TestStatsRoundTrip exercises the STATS verb over a real TCP
+// connection: after a handful of operations the snapshot must show
+// non-zero per-verb counters, populated latency histograms, and the
+// wire byte counters.
+func TestStatsRoundTrip(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.SetTelemetry(nil, telemetry.NewTracer("lass-under-test"))
+	c := dialT(t, addr, "job")
+
+	if err := c.Put("pid", "1234"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := c.TryGet("pid"); err != nil {
+		t.Fatalf("TryGet: %v", err)
+	}
+	if _, err := c.Get(context.Background(), "pid"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+
+	daemon, snap, err := c.ServerStats(context.Background())
+	if err != nil {
+		t.Fatalf("ServerStats: %v", err)
+	}
+	if daemon != "lass-under-test" {
+		t.Errorf("daemon = %q", daemon)
+	}
+	for _, counter := range []string{
+		"attrspace.ops.hello", "attrspace.ops.put",
+		"attrspace.ops.tryget", "attrspace.ops.get",
+		"wire.rx.bytes", "wire.tx.bytes",
+	} {
+		if snap.Counters[counter] == 0 {
+			t.Errorf("counter %s = 0, want non-zero (snapshot %v)", counter, snap.Counters)
+		}
+	}
+	h, ok := snap.Histograms["attrspace.latency.put"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("put latency histogram empty: %+v", snap.Histograms)
+	}
+	if q := h.Quantile(0.99); q <= 0 {
+		t.Errorf("p99 put latency = %g, want > 0", q)
+	}
+
+	// STATS itself counts: a second call sees the first.
+	_, snap2, err := c.ServerStats(context.Background())
+	if err != nil {
+		t.Fatalf("second ServerStats: %v", err)
+	}
+	if snap2.Counters["attrspace.ops.stats"] < 1 {
+		t.Errorf("ops.stats = %d, want >= 1", snap2.Counters["attrspace.ops.stats"])
+	}
+}
+
+// TestStatsNeedsNoHello: a monitoring client may probe a server
+// without joining any context (and without bumping refcounts).
+func TestStatsNeedsNoHello(t *testing.T) {
+	srv, addr := startServer(t)
+	_ = srv
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer raw.Close()
+	c := &Client{
+		wc:      wire.NewConn(raw),
+		raw:     raw,
+		pending: make(map[string]chan *wire.Message),
+		events:  make(chan Event, 4),
+	}
+	go c.readLoop()
+	defer c.Close()
+	if _, _, err := c.ServerStats(context.Background()); err != nil {
+		t.Fatalf("STATS without HELLO: %v", err)
+	}
+}
+
+// TestTracePropagationTwoHop reproduces the acceptance scenario: a
+// front-end issues one traced operation that touches the CASS
+// directly and the LASS through the RM's CONNECT proxy. Both daemons
+// must log spans under the same trace ID — the proxy forwards the
+// reserved _tid/_sid fields untouched because it splices bytes.
+func TestTracePropagationTwoHop(t *testing.T) {
+	// CASS beside the front-end.
+	cass, cassAddr := startServer(t)
+	cass.SetTelemetry(nil, telemetry.NewTracer("cassd"))
+	// LASS on the "execution host".
+	lass, lassAddr := startServer(t)
+	lass.SetTelemetry(nil, telemetry.NewTracer("lassd"))
+
+	// The RM's dynamic CONNECT proxy in front of the LASS.
+	px := proxy.NewServer(func(addr string) (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	}, nil)
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	go px.Serve(pl)
+	defer px.Close()
+	proxyAddr := pl.Addr().String()
+
+	// Front-end clients: direct to the CASS, proxied to the LASS.
+	feTracer := telemetry.NewTracer("frontend")
+	cassClient := dialT(t, cassAddr, "job")
+	cassClient.SetTelemetry(telemetry.NewRegistry(), feTracer)
+	lassClient, err := Dial(func(string) (net.Conn, error) {
+		return proxy.DialVia(func(a string) (net.Conn, error) { return net.Dial("tcp", a) }, proxyAddr, lassAddr)
+	}, lassAddr, "job")
+	if err != nil {
+		t.Fatalf("Dial via proxy: %v", err)
+	}
+	defer lassClient.Close()
+	lassClient.SetTelemetry(telemetry.NewRegistry(), feTracer)
+
+	// One logical front-end operation spanning both daemons.
+	op := feTracer.StartSpan("frontend.put")
+	ctx := telemetry.NewContext(context.Background(), op)
+	if err := cassClient.PutCtx(ctx, "frontend_addr", "1.2.3.4:2090"); err != nil {
+		t.Fatalf("Put to CASS: %v", err)
+	}
+	if err := lassClient.PutCtx(ctx, "pid", "77"); err != nil {
+		t.Fatalf("Put to LASS via proxy: %v", err)
+	}
+	op.End()
+	tid := op.TraceID()
+
+	cassSpans := cass.Tracer().SpansForTrace(tid)
+	lassSpans := lass.Tracer().SpansForTrace(tid)
+	if len(cassSpans) != 1 || len(lassSpans) != 1 {
+		t.Fatalf("spans for trace %s: cass=%d lass=%d, want 1 each\ncass log: %v\nlass log: %v",
+			tid, len(cassSpans), len(lassSpans), cass.Tracer().Spans(), lass.Tracer().Spans())
+	}
+	if cassSpans[0].Actor != "cassd" || lassSpans[0].Actor != "lassd" {
+		t.Errorf("actors = %q, %q", cassSpans[0].Actor, lassSpans[0].Actor)
+	}
+	if !strings.HasPrefix(cassSpans[0].Name, "attrspace.put") || lassSpans[0].Fields["attr"] != "pid" {
+		t.Errorf("span details wrong: %+v / %+v", cassSpans[0], lassSpans[0])
+	}
+	// The server spans' parents are the per-call client spans, which
+	// share the front-end root as their ancestor via the trace ID; the
+	// front-end span log holds root + the two client call spans.
+	if got := len(feTracer.SpansForTrace(tid)); got != 3 {
+		t.Errorf("front-end spans = %d, want 3 (root + 2 client calls)", got)
+	}
+	for _, rec := range []telemetry.SpanRecord{cassSpans[0], lassSpans[0]} {
+		if rec.ParentID == "" {
+			t.Errorf("server span has no parent: %+v", rec)
+		}
+	}
+}
+
+// TestUntracedRequestsRecordNoSpans: without _tid on the wire the
+// server span log stays empty — tracing is strictly opt-in per
+// operation.
+func TestUntracedRequestsRecordNoSpans(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialT(t, addr, "job")
+	if err := c.Put("a", "1"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if n := srv.Tracer().Len(); n != 0 {
+		t.Errorf("span log has %d spans, want 0: %v", n, srv.Tracer().Spans())
+	}
+}
+
+// TestMonitorPublisher: the server self-publishes registry metrics as
+// tdp.monitor.* attributes so tools can observe it with a plain Get.
+func TestMonitorPublisher(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialT(t, addr, "job")
+	if err := c.Put("pid", "9"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	stop := srv.StartMonitorPublisher("job", "lass", 10*time.Millisecond)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	v, err := c.Get(ctx, telemetry.MonitorPrefix+"lass.attrspace.ops.put")
+	if err != nil {
+		t.Fatalf("Get monitor attribute: %v", err)
+	}
+	if v == "0" || v == "" {
+		t.Errorf("published put counter = %q, want non-zero", v)
+	}
+	// Histogram quantiles publish too.
+	if _, err := c.Get(ctx, telemetry.MonitorPrefix+"lass.attrspace.latency.put.p99"); err != nil {
+		t.Fatalf("Get monitor p99: %v", err)
+	}
+}

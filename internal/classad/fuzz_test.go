@@ -66,3 +66,29 @@ func TestMatchesSymmetryOfEmptyAds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// FuzzParse is the native fuzz target wired into the CI smoke run
+// (`make fuzz`): Parse must never panic, and any expression it accepts
+// must evaluate (possibly to ERROR/UNDEFINED) without panicking.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"A + B", "A && B || !C", "A == TARGET.A", "MY.X < TARGET.Y",
+		"strcat(A, \"s\")", "min(A, B, C)", "A =?= UNDEFINED",
+		"(1 + 2) * 3 % 4", "\"str\" == \"str\"", "isError(A / 0)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err != nil {
+			return
+		}
+		my := NewAd()
+		my.SetInt("A", 7)
+		my.SetString("B", "x")
+		tgt := NewAd()
+		tgt.SetInt("A", 9)
+		tgt.SetInt("Y", 3)
+		expr.Eval(&Env{My: my, Target: tgt})
+	})
+}

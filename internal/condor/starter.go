@@ -10,6 +10,7 @@ import (
 
 	"tdp"
 	"tdp/internal/procsim"
+	"tdp/internal/telemetry"
 )
 
 // ActivationRequest is everything the shadow sends to the execute
@@ -228,6 +229,7 @@ func (st *Starter) runPlain(spec tdp.ProcessSpec) StarterReport {
 	}
 	st.setAP(ap)
 	st.record("spawn_job", spec.Executable)
+	telemetry.Default().Counter("condor.jobs.started").Inc()
 	exit, err := st.waitProcess(ap)
 	if err != nil {
 		return StarterReport{Err: err}
@@ -280,6 +282,7 @@ func (st *Starter) runWithTool(spec tdp.ProcessSpec) StarterReport {
 	}
 	st.setAP(ap)
 	st.record("spawn_job", spec.Executable+","+mode.String())
+	telemetry.Default().Counter("condor.jobs.started").Inc()
 
 	// The RM owns status monitoring (§2.3): publish process state
 	// transitions into the attribute space for the tool to observe.
@@ -371,6 +374,7 @@ func (st *Starter) runWithTool(spec tdp.ProcessSpec) StarterReport {
 		return StarterReport{Err: fmt.Errorf("condor: launch tool daemon: %w", err)}
 	}
 	st.record("spawn_tool", td.Cmd)
+	telemetry.Default().Counter("condor.tools.launched").Inc()
 
 	// Step 3 (starter half): publish the application pid. The tool is
 	// blocked in tdp_get("pid") until this put lands.

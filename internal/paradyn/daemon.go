@@ -12,6 +12,7 @@ import (
 	"tdp/internal/attrspace"
 	"tdp/internal/condor"
 	"tdp/internal/procsim"
+	"tdp/internal/telemetry"
 	"tdp/internal/wire"
 )
 
@@ -189,7 +190,10 @@ func runDaemon(env condor.ToolEnv, args []string, pc *procsim.ProcContext) int {
 		return fail("tdp_continue", err)
 	}
 
-	// Stream samples until the application exits.
+	// Stream samples until the application exits. Sample counts land
+	// in the process-wide registry so a STATS snapshot shows the
+	// instrumentation data volume next to the protocol traffic.
+	samplesSent := telemetry.Default().Counter("paradyn.samples.sent")
 	sendSamples := func() {
 		if fe == nil {
 			return
@@ -199,6 +203,7 @@ func runDaemon(env condor.ToolEnv, args []string, pc *procsim.ProcContext) int {
 				Set("fn", fn).
 				Set("calls", strconv.FormatInt(s.Calls, 10)).
 				Set("time_us", strconv.FormatInt(s.TimeMicros, 10)))
+			samplesSent.Inc()
 		}
 	}
 	var exit procsim.ExitStatus

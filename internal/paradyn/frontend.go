@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"tdp/internal/telemetry"
 	"tdp/internal/trace"
 	"tdp/internal/wire"
 )
@@ -136,6 +137,7 @@ func (fe *FrontEnd) handle(c net.Conn) {
 	autoRun := fe.cfg.AutoRun
 	fe.mu.Unlock()
 	fe.record("register", name+" pid="+reg.Get("pid"))
+	telemetry.Default().Counter("paradyn.daemons.registered").Inc()
 	select {
 	case fe.regCh <- name:
 	default:
@@ -151,6 +153,7 @@ func (fe *FrontEnd) handle(c net.Conn) {
 		}
 		switch m.Verb {
 		case "SAMPLE":
+			telemetry.Default().Counter("paradyn.samples.received").Inc()
 			fn := m.Get("fn")
 			calls, _ := strconv.ParseInt(m.Get("calls"), 10, 64)
 			us, _ := strconv.ParseInt(m.Get("time_us"), 10, 64)

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tdp/internal/telemetry"
 	"tdp/internal/wire"
 )
 
@@ -48,6 +49,29 @@ type Forwarder struct {
 	closed  bool
 	tunnels int64
 	bytes   atomic.Int64
+	metrics proxyMetrics
+}
+
+// proxyMetrics mirrors a proxy's tunnel/byte accounting into a
+// telemetry registry so STATS and monitor publication see relay
+// traffic alongside everything else. Zero value is inert.
+type proxyMetrics struct {
+	tunnels *telemetry.Counter
+	bytes   *telemetry.Counter
+}
+
+func (p *proxyMetrics) install(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.tunnels = reg.Counter("proxy.tunnels")
+	p.bytes = reg.Counter("proxy.bytes")
+}
+
+func (p proxyMetrics) tunnelOpened() {
+	if p.tunnels != nil {
+		p.tunnels.Inc()
+	}
 }
 
 // NewForwarder returns a forwarder to target using dial for onward
@@ -58,6 +82,14 @@ func NewForwarder(dial DialFunc, target string) *Forwarder {
 
 // Target returns the fixed destination.
 func (f *Forwarder) Target() string { return f.target }
+
+// Instrument mirrors tunnel and relayed-byte counts into reg
+// ("proxy.tunnels", "proxy.bytes"). Call before Serve.
+func (f *Forwarder) Instrument(reg *telemetry.Registry) {
+	f.mu.Lock()
+	f.metrics.install(reg)
+	f.mu.Unlock()
+}
 
 // Serve accepts on l until Close; each connection is spliced to the
 // target. It blocks; run in a goroutine.
@@ -83,19 +115,21 @@ func (f *Forwarder) Serve(l net.Listener) error {
 		}
 		f.mu.Lock()
 		f.tunnels++
+		m := f.metrics
 		f.mu.Unlock()
-		go f.tunnel(c)
+		m.tunnelOpened()
+		go f.tunnel(c, m)
 	}
 }
 
-func (f *Forwarder) tunnel(client net.Conn) {
+func (f *Forwarder) tunnel(client net.Conn, m proxyMetrics) {
 	defer client.Close()
 	upstream, err := f.dial(f.target)
 	if err != nil {
 		return
 	}
 	defer upstream.Close()
-	splice(client, upstream, &f.bytes)
+	splice(client, upstream, &f.bytes, m.bytes)
 }
 
 // Close stops the listener.
@@ -118,11 +152,12 @@ func (f *Forwarder) Stats() (tunnels int64, bytes int64) {
 }
 
 // splice copies bidirectionally until either side closes, counting
-// bytes into total.
-func splice(a, b net.Conn, total *atomic.Int64) {
+// bytes into total and, when non-nil, into the mirrored registry
+// counter.
+func splice(a, b net.Conn, total *atomic.Int64, mirror *telemetry.Counter) {
 	done := make(chan struct{}, 2)
 	cp := func(dst, src net.Conn) {
-		io.Copy(countWriter{w: dst, total: total}, src)
+		io.Copy(countWriter{w: dst, total: total, mirror: mirror}, src)
 		// Half-close where supported so the peer's reads terminate.
 		type closeWriter interface{ CloseWrite() error }
 		if cw, ok := dst.(closeWriter); ok {
@@ -141,13 +176,17 @@ func splice(a, b net.Conn, total *atomic.Int64) {
 // countWriter counts payload bytes as they are relayed so Stats is
 // live while tunnels remain open.
 type countWriter struct {
-	w     io.Writer
-	total *atomic.Int64
+	w      io.Writer
+	total  *atomic.Int64
+	mirror *telemetry.Counter
 }
 
 func (c countWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.total.Add(int64(n))
+	if c.mirror != nil {
+		c.mirror.Add(int64(n))
+	}
 	return n, err
 }
 
@@ -161,6 +200,7 @@ type Server struct {
 	closed  bool
 	tunnels int64
 	bytes   atomic.Int64
+	metrics proxyMetrics
 }
 
 // NewServer returns a CONNECT proxy. allow filters target addresses;
@@ -170,6 +210,14 @@ func NewServer(dial DialFunc, allow func(target string) bool) *Server {
 		allow = func(string) bool { return true }
 	}
 	return &Server{dial: dial, allow: allow}
+}
+
+// Instrument mirrors tunnel and relayed-byte counts into reg
+// ("proxy.tunnels", "proxy.bytes"). Call before Serve.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	s.metrics.install(reg)
+	s.mu.Unlock()
 }
 
 // Serve accepts proxy clients on l until Close.
@@ -223,12 +271,14 @@ func (s *Server) handle(client net.Conn) {
 	}
 	s.mu.Lock()
 	s.tunnels++
+	pm := s.metrics
 	s.mu.Unlock()
+	pm.tunnelOpened()
 	defer client.Close()
 	defer upstream.Close()
 	// Bytes the client sent right behind CONNECT may already sit in
 	// the framed connection's buffer; read through it.
-	splice(bufferedConn{Conn: client, r: wc.Detach()}, upstream, &s.bytes)
+	splice(bufferedConn{Conn: client, r: wc.Detach()}, upstream, &s.bytes, pm.bytes)
 }
 
 // bufferedConn reads through a buffered reader (draining handshake

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync"
+)
+
+// Level grades log records. Daemons default to silent in tests and
+// LevelInfo in the cmd/ binaries.
+type Level int
+
+const (
+	// LevelDebug includes span echoes and per-connection chatter.
+	LevelDebug Level = iota
+	// LevelInfo covers lifecycle events (listening, shutdown).
+	LevelInfo
+	// LevelError covers failures worth surfacing.
+	LevelError
+	// LevelSilent discards everything.
+	LevelSilent
+)
+
+// String names the level as it appears in output.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "SILENT"
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "error", "silent")
+// to a Level; unknown strings mean LevelInfo.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "error":
+		return LevelError
+	case "silent", "off", "none":
+		return LevelSilent
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger is the one injectable, leveled logger shared by the daemons.
+// A nil *Logger is valid and silent, so call sites need no nil checks.
+type Logger struct {
+	mu   sync.Mutex
+	min  Level
+	sink func(level Level, msg string)
+}
+
+// NewLogger writes records at or above min to out, prefixed with the
+// daemon name, in the standard library's log line format.
+func NewLogger(out io.Writer, min Level, prefix string) *Logger {
+	if prefix != "" {
+		prefix += ": "
+	}
+	std := log.New(out, prefix, log.LstdFlags|log.Lmicroseconds)
+	return &Logger{
+		min:  min,
+		sink: func(level Level, msg string) { std.Printf("%s %s", level, msg) },
+	}
+}
+
+// FuncLogger adapts a printf-style function (e.g. log.Printf, or a
+// test's t.Logf) into a Logger that forwards every non-silent record.
+func FuncLogger(f func(format string, args ...any)) *Logger {
+	if f == nil {
+		return nil
+	}
+	return &Logger{
+		min:  LevelDebug,
+		sink: func(level Level, msg string) { f("%s %s", level, msg) },
+	}
+}
+
+// Silent returns a logger that discards everything — the default for
+// daemons constructed in tests.
+func Silent() *Logger { return nil }
+
+// SetLevel changes the minimum level.
+func (l *Logger) SetLevel(min Level) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.min = min
+	l.mu.Unlock()
+}
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	min, sink := l.min, l.sink
+	l.mu.Unlock()
+	if level < min || sink == nil {
+		return
+	}
+	sink(level, fmt.Sprintf(format, args...))
+}
+
+// Debugf logs at LevelDebug.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at LevelInfo.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Errorf logs at LevelError.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("ops")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("ops").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	// Same name returns the same gauge.
+	if reg.Gauge("depth") != g {
+		t.Error("Gauge lookup returned a different instance")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	// A value equal to a bound lands in that bound's bucket (le
+	// semantics); above the last bound lands in +Inf.
+	for _, v := range []float64{0.5, 1} { // bucket le=1
+		h.Observe(v)
+	}
+	h.Observe(1.5) // bucket le=10
+	h.Observe(10)  // bucket le=10
+	h.Observe(99)  // bucket le=100
+	h.Observe(101) // +Inf
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-(0.5+1+1.5+10+99+101)) > 1e-9 {
+		t.Errorf("sum = %g", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	// 100 observations uniform over (0, 40]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	s := h.Snapshot()
+	cases := []struct{ q, want, tol float64 }{
+		{0.5, 20, 2},  // median at the 10–20/20–30 boundary
+		{0.25, 10, 2}, // first quartile near 10
+		{0.99, 40, 2}, // tail near the top bound
+		{0, 0, 0.5},   // floor of the first bucket
+		{1, 40, 1e-9}, // exactly the last bound
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("q%.2f = %g, want %g ± %g", c.q, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestHistogramQuantileEmptyAndInf(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	h.Observe(100) // lands in +Inf
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf quantile = %g, want clamp to last bound 2", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.ObserveDuration(50 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+	if math.Abs(h.Sum()-4000*50e-6) > 1e-6 {
+		t.Errorf("sum = %g, want %g", h.Sum(), 4000*50e-6)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops.put").Add(3)
+	reg.Gauge("conns").Set(2)
+	reg.Histogram("latency.put", nil).Observe(0.001)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	s, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.Counters["ops.put"] != 3 || s.Gauges["conns"] != 2 {
+		t.Errorf("round trip lost scalars: %+v", s)
+	}
+	hs, ok := s.Histograms["latency.put"]
+	if !ok || hs.Count != 1 {
+		t.Errorf("round trip lost histogram: %+v", s.Histograms)
+	}
+}
+
+func TestSnapshotText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops.put").Add(42)
+	reg.Gauge("conns").Set(1)
+	reg.Histogram("lat", []float64{0.001, 0.01}).Observe(0.002)
+	text := reg.Snapshot().Text()
+	for _, want := range []string{
+		"# TYPE ops.put counter\nops.put 42",
+		"# TYPE conns gauge\nconns 1",
+		"# TYPE lat histogram",
+		"lat_count 1",
+		`lat_bucket{le="0.01"} 1`,
+		`lat_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistryHistogramFirstRegistrationWins(t *testing.T) {
+	reg := NewRegistry()
+	h1 := reg.Histogram("h", []float64{1, 2})
+	h2 := reg.Histogram("h", []float64{5})
+	if h1 != h2 {
+		t.Error("same name returned different histograms")
+	}
+	if len(h1.Bounds()) != 2 {
+		t.Errorf("bounds = %v, want the first registration's", h1.Bounds())
+	}
+}

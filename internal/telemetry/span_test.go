@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanRootAndChild(t *testing.T) {
+	tr := NewTracer("cass")
+	root := tr.StartSpan("put")
+	root.Set("attr", "pid")
+	child := root.StartChild("server.put")
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].TraceID != spans[1].TraceID {
+		t.Error("child did not inherit the trace ID")
+	}
+	if spans[0].ParentID != root.SpanID() {
+		t.Errorf("child parent = %q, want %q", spans[0].ParentID, root.SpanID())
+	}
+	if spans[1].Fields["attr"] != "pid" {
+		t.Errorf("root fields = %v", spans[1].Fields)
+	}
+	if got := tr.SpansForTrace(root.TraceID()); len(got) != 2 {
+		t.Errorf("SpansForTrace = %d spans, want 2", len(got))
+	}
+}
+
+func TestStartChildFromWireIDs(t *testing.T) {
+	// The receiving daemon reconstructs the caller's trace from the
+	// _tid/_sid fields; an empty trace ID means "start fresh".
+	tr := NewTracer("lass")
+	sp := tr.StartChild("server.put", "aaaa", "bbbb")
+	sp.End()
+	rec := tr.Spans()[0]
+	if rec.TraceID != "aaaa" || rec.ParentID != "bbbb" {
+		t.Errorf("wire child = %+v", rec)
+	}
+	fresh := tr.StartChild("server.put", "", "")
+	if fresh.TraceID() == "" {
+		t.Error("empty wire trace ID should start a fresh trace")
+	}
+}
+
+func TestNilSpanAndTracerAreInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x")
+	sp.Set("k", "v")
+	sp.End() // must not panic
+	if sp.TraceID() != "" || sp.SpanID() != "" {
+		t.Error("nil span has IDs")
+	}
+	if got := FromContext(NewContext(context.Background(), sp)); got != nil {
+		t.Error("nil span stored in context")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer("fe")
+	sp := tr.StartSpan("op")
+	ctx := NewContext(context.Background(), sp)
+	if got := FromContext(ctx); got != sp {
+		t.Error("FromContext did not return the stored span")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Error("FromContext on empty ctx returned a span")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer("d")
+	sp := tr.StartSpan("op")
+	sp.End()
+	sp.End()
+	if tr.Len() != 1 {
+		t.Errorf("spans = %d, want 1 (End must be idempotent)", tr.Len())
+	}
+}
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer("d")
+	for i := 0; i < maxSpans+10; i++ {
+		tr.StartSpan("op").End()
+	}
+	if tr.Len() != maxSpans {
+		t.Errorf("ring len = %d, want %d", tr.Len(), maxSpans)
+	}
+	if got := len(tr.Spans()); got != maxSpans {
+		t.Errorf("Spans() = %d, want %d", got, maxSpans)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer("d")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp := tr.StartSpan("op")
+				sp.Set("i", "x")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 1600 {
+		t.Errorf("spans = %d, want 1600", tr.Len())
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, LevelInfo, "lassd")
+	log.Debugf("hidden %d", 1)
+	log.Infof("visible")
+	log.Errorf("boom")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug record leaked through LevelInfo")
+	}
+	if !strings.Contains(out, "INFO visible") || !strings.Contains(out, "ERROR boom") {
+		t.Errorf("missing records:\n%s", out)
+	}
+	if !strings.Contains(out, "lassd: ") {
+		t.Errorf("missing prefix:\n%s", out)
+	}
+}
+
+func TestNilLoggerIsSilent(t *testing.T) {
+	var log *Logger
+	log.Infof("x") // must not panic
+	log.SetLevel(LevelDebug)
+	if Silent() != nil {
+		t.Error("Silent() should be the nil logger")
+	}
+}
+
+func TestFuncLogger(t *testing.T) {
+	var got []string
+	log := FuncLogger(func(format string, args ...any) {
+		got = append(got, format)
+	})
+	log.Debugf("a")
+	if len(got) != 1 {
+		t.Errorf("FuncLogger forwarded %d records, want 1", len(got))
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "error": LevelError,
+		"silent": LevelSilent, "bogus": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

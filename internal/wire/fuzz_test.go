@@ -1,9 +1,33 @@
 package wire
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
+
+// FuzzDecode is the native fuzz target wired into the CI smoke run
+// (`make fuzz`): Decode must never panic, and anything it accepts must
+// round-trip stably through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add(NewMessage("PUT").Set("attr", "pid").Set("value", "1234").Encode())
+	f.Add(NewMessage("STATS").SetTrace("aaaabbbbccccdddd", "0123456789abcdef").Encode())
+	f.Add([]byte("3:PUT2;4:attr3:pid"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := Decode(payload)
+		if err != nil {
+			return
+		}
+		again, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("accepted payload does not re-decode: %v", err)
+		}
+		if again.Verb != m.Verb || !reflect.DeepEqual(again.Fields, m.Fields) {
+			t.Fatalf("unstable round trip: %v vs %v", m, again)
+		}
+	})
+}
 
 // TestDecodeNeverPanics feeds arbitrary bytes to the decoder: it must
 // return a message or an error, never panic — the server's first line

@@ -19,7 +19,11 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
+
+	"tdp/internal/telemetry"
 )
 
 // MaxFrameSize bounds a single frame. Attribute values are small
@@ -33,6 +37,24 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
 // ErrMalformed is returned when a payload cannot be decoded as a Message.
 var ErrMalformed = errors.New("wire: malformed message")
+
+// Reserved field names. Keys beginning with "_" are reserved for the
+// protocol layer: current peers use the two below for cross-daemon
+// span tracing, and decoders MUST carry unknown "_"-prefixed keys
+// through untouched (they are a newer peer's protocol extensions, not
+// application data). Verb handlers read named fields only, so unknown
+// reserved keys are safely ignored end to end; IsReserved lets
+// generic code (snapshot dumps, attribute iteration) skip them.
+const (
+	// FieldTraceID carries the telemetry trace ID across daemons.
+	FieldTraceID = "_tid"
+	// FieldSpanID carries the sender's span ID (the receiver's parent).
+	FieldSpanID = "_sid"
+)
+
+// IsReserved reports whether a field key belongs to the protocol
+// layer rather than the application.
+func IsReserved(key string) bool { return strings.HasPrefix(key, "_") }
 
 // Message is a verb plus a set of string key/value fields. It is the
 // unit of exchange on every control connection.
@@ -69,6 +91,24 @@ func (m *Message) Get(key string) string {
 func (m *Message) Lookup(key string) (string, bool) {
 	v, ok := m.Fields[key]
 	return v, ok
+}
+
+// SetTrace stamps the reserved span-tracing fields on the message.
+// Empty IDs clear nothing and stamp nothing, so untraced paths add no
+// bytes to the wire.
+func (m *Message) SetTrace(traceID, spanID string) *Message {
+	if traceID != "" {
+		m.Set(FieldTraceID, traceID)
+	}
+	if spanID != "" {
+		m.Set(FieldSpanID, spanID)
+	}
+	return m
+}
+
+// Trace returns the reserved span-tracing fields ("" when untraced).
+func (m *Message) Trace() (traceID, spanID string) {
+	return m.Fields[FieldTraceID], m.Fields[FieldSpanID]
 }
 
 // Int returns the integer value of a field, or the provided default
@@ -198,11 +238,50 @@ type Conn struct {
 	br  *bufio.Reader
 	w   io.Writer
 	rw  io.ReadWriter
+
+	// Optional telemetry, installed by Instrument. Held behind an
+	// atomic pointer — NOT the r/w mutexes — because a reader
+	// goroutine may sit blocked inside Recv (holding rmu) for the
+	// connection's whole life, and Instrument must not wait for it.
+	metrics atomic.Pointer[connCounters]
+}
+
+// connCounters bundles a connection's installed counters; any may be
+// nil.
+type connCounters struct {
+	txBytes, rxBytes *telemetry.Counter
+	txMsgs, rxMsgs   *telemetry.Counter
 }
 
 // NewConn returns a framed connection over rw.
 func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{br: bufio.NewReader(rw), w: rw, rw: rw}
+}
+
+// Instrument installs byte and message counters (any may be nil) that
+// the connection bumps on every framed send and receive. Byte counts
+// include the 4-byte frame headers — they are what crossed the wire.
+// The counters typically come from the owning daemon's
+// telemetry.Registry; installation is safe at any time, including
+// while another goroutine is blocked in Recv.
+func (c *Conn) Instrument(txBytes, rxBytes, txMsgs, rxMsgs *telemetry.Counter) {
+	c.metrics.Store(&connCounters{
+		txBytes: txBytes, rxBytes: rxBytes, txMsgs: txMsgs, rxMsgs: rxMsgs,
+	})
+}
+
+// InstrumentRegistry installs the standard wire counters
+// ("wire.tx.bytes", "wire.rx.bytes", "wire.tx.msgs", "wire.rx.msgs")
+// from reg. Several connections may share one registry; the counters
+// then aggregate across them.
+func (c *Conn) InstrumentRegistry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.Instrument(
+		reg.Counter("wire.tx.bytes"), reg.Counter("wire.rx.bytes"),
+		reg.Counter("wire.tx.msgs"), reg.Counter("wire.rx.msgs"),
+	)
 }
 
 // Underlying returns the wrapped stream (e.g. to close it).
@@ -227,8 +306,18 @@ func (c *Conn) Send(m *Message) error {
 	if _, err := c.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := c.w.Write(payload)
-	return err
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	if m := c.metrics.Load(); m != nil {
+		if m.txBytes != nil {
+			m.txBytes.Add(int64(len(hdr) + len(payload)))
+		}
+		if m.txMsgs != nil {
+			m.txMsgs.Inc()
+		}
+	}
+	return nil
 }
 
 // Recv reads and decodes one message, blocking until a full frame
@@ -247,6 +336,14 @@ func (c *Conn) Recv() (*Message, error) {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return nil, err
+	}
+	if m := c.metrics.Load(); m != nil {
+		if m.rxBytes != nil {
+			m.rxBytes.Add(int64(len(hdr)) + int64(n))
+		}
+		if m.rxMsgs != nil {
+			m.rxMsgs.Inc()
+		}
 	}
 	return Decode(payload)
 }

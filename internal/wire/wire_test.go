@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"tdp/internal/telemetry"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -265,5 +267,100 @@ func TestConnCloseNonCloser(t *testing.T) {
 	}{&buf, &buf})
 	if err := c.Close(); err != nil {
 		t.Errorf("Close on non-closer: %v", err)
+	}
+}
+
+func TestReservedFieldForwardCompat(t *testing.T) {
+	// A newer peer may stamp reserved "_"-prefixed fields this version
+	// has never heard of. Decode must accept them, carry them through
+	// re-encoding untouched, and named-field access must be unaffected
+	// — an older daemon keeps working against a newer client.
+	m := NewMessage("PUT").
+		Set("attr", "pid").Set("value", "1234").
+		Set("_tid", "aaaabbbbccccdddd").
+		Set("_sid", "0123456789abcdef").
+		Set("_future_ext", "opaque\x00blob") // unknown reserved field
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("Decode with reserved fields: %v", err)
+	}
+	if got.Get("attr") != "pid" || got.Get("value") != "1234" {
+		t.Errorf("named fields disturbed by reserved keys: %v", got)
+	}
+	if got.Get("_future_ext") != "opaque\x00blob" {
+		t.Error("unknown reserved field not carried through")
+	}
+	if !reflect.DeepEqual(got.Fields, m.Fields) {
+		t.Errorf("round trip mismatch: %v vs %v", got.Fields, m.Fields)
+	}
+	if !IsReserved("_future_ext") || IsReserved("attr") {
+		t.Error("IsReserved misclassifies")
+	}
+}
+
+func TestSetTraceAndTrace(t *testing.T) {
+	m := NewMessage("PUT").SetTrace("tid1", "sid1")
+	tid, sid := m.Trace()
+	if tid != "tid1" || sid != "sid1" {
+		t.Errorf("Trace() = %q, %q", tid, sid)
+	}
+	// Empty IDs stamp nothing: untraced messages carry no extra bytes.
+	clean := NewMessage("PUT").SetTrace("", "")
+	if len(clean.Fields) != 0 {
+		t.Errorf("empty SetTrace added fields: %v", clean.Fields)
+	}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	tid, sid = got.Trace()
+	if tid != "tid1" || sid != "sid1" {
+		t.Errorf("trace fields lost on the wire: %q, %q", tid, sid)
+	}
+}
+
+func TestConnInstrumentCountsBytes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	cc, sc := NewConn(client), NewConn(server)
+	cc.InstrumentRegistry(reg)
+
+	msg := NewMessage("PUT").Set("attr", "pid").Set("value", "1")
+	done := make(chan *Message, 1)
+	go func() {
+		m, _ := sc.Recv()
+		done <- m
+	}()
+	if err := cc.Send(msg); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got := <-done; got == nil || got.Verb != "PUT" {
+		t.Fatalf("Recv = %v", got)
+	}
+	wantBytes := int64(len(msg.Encode()) + 4)
+	if got := reg.Counter("wire.tx.bytes").Value(); got != wantBytes {
+		t.Errorf("tx.bytes = %d, want %d", got, wantBytes)
+	}
+	if got := reg.Counter("wire.tx.msgs").Value(); got != 1 {
+		t.Errorf("tx.msgs = %d, want 1", got)
+	}
+
+	// And the receive side, instrumented separately.
+	sc.InstrumentRegistry(reg)
+	go func() {
+		m, _ := sc.Recv()
+		done <- m
+	}()
+	if err := cc.Send(msg); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	<-done
+	if got := reg.Counter("wire.rx.bytes").Value(); got != wantBytes {
+		t.Errorf("rx.bytes = %d, want %d", got, wantBytes)
+	}
+	if got := reg.Counter("wire.rx.msgs").Value(); got != 1 {
+		t.Errorf("rx.msgs = %d, want 1", got)
 	}
 }

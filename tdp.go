@@ -43,6 +43,7 @@ import (
 	"tdp/internal/attrspace"
 	"tdp/internal/events"
 	"tdp/internal/procsim"
+	"tdp/internal/telemetry"
 	"tdp/internal/trace"
 )
 
@@ -120,6 +121,16 @@ type Config struct {
 	// Trace, when non-nil, records every TDP call for the figure
 	// reproduction experiments.
 	Trace *trace.Recorder
+
+	// Telemetry, when non-nil, receives op counters and latency
+	// histograms for every tdp_* call ("tdp.*") plus the attribute
+	// space client and wire metrics ("client.*", "wire.*").
+	Telemetry *telemetry.Registry
+
+	// Tracer, when non-nil, gives every attribute space operation a
+	// span; spans started by the caller and carried in a context
+	// propagate to the servers as the reserved _tid/_sid wire fields.
+	Tracer *telemetry.Tracer
 }
 
 // Handle is the tdp handle returned by Init and used in every
@@ -151,6 +162,7 @@ func Init(cfg Config) (*Handle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tdp: init: LASS: %w", err)
 	}
+	lass.SetTelemetry(cfg.Telemetry, cfg.Tracer)
 	var cass *attrspace.Client
 	if cfg.CASSAddr != "" {
 		cass, err = attrspace.Dial(cfg.Dial, cfg.CASSAddr, cfg.Context)
@@ -158,6 +170,7 @@ func Init(cfg Config) (*Handle, error) {
 			lass.Close()
 			return nil, fmt.Errorf("tdp: init: CASS: %w", err)
 		}
+		cass.SetTelemetry(cfg.Telemetry, cfg.Tracer)
 	}
 	h := &Handle{cfg: cfg, lass: lass, cass: cass, queue: events.NewQueue()}
 	h.traceStep("tdp_init", "context="+cfg.Context)
