@@ -2,11 +2,20 @@
 # change must pass: vet + build + full test suite under the race
 # detector. `make fuzz` is a short native-fuzzing smoke run over the
 # two parsers that face untrusted bytes (the wire decoder and the
-# ClassAd expression parser).
+# ClassAd expression parser). `make bench` refreshes the committed
+# hot-path baseline (BENCH_attrspace.json); `make benchdiff` re-runs
+# the same suite and fails on a >20% ns/op regression against it.
 
 GO ?= go
 
-.PHONY: all tier1 vet build test race fuzz
+# The hot-path suite tracked in BENCH_attrspace.json: attribute space
+# round trips plus the wire codec micro-benchmarks. The parallel
+# contention benchmark (AttrSpaceClients) stays out of the tracked set:
+# RunParallel numbers swing 20%+ run to run on shared machines, which
+# would make the benchdiff gate flaky.
+BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire
+
+.PHONY: all tier1 vet build test race fuzz bench benchdiff
 
 all: tier1
 
@@ -27,3 +36,14 @@ race:
 fuzz:
 	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecode -fuzztime=10s
 	$(GO) test ./internal/classad -run='^$$' -fuzz=FuzzParse -fuzztime=10s
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee bench.out
+	scripts/bench2json.sh < bench.out > BENCH_attrspace.json
+	@rm -f bench.out
+	@echo wrote BENCH_attrspace.json
+
+benchdiff:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | scripts/bench2json.sh > bench.current.json
+	scripts/benchdiff.sh BENCH_attrspace.json bench.current.json
+	@rm -f bench.current.json

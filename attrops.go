@@ -2,7 +2,12 @@ package tdp
 
 import (
 	"context"
+
+	"tdp/internal/attrspace"
 )
+
+// KV is one attribute/value pair in a batched put.
+type KV = attrspace.KV
 
 // This file implements the synchronous attribute space operations
 // (§3.2): tdp_put and tdp_get plus the convenience lookups built on
@@ -25,6 +30,41 @@ func (h *Handle) PutCtx(ctx context.Context, attribute, value string) error {
 	defer h.observe("put")()
 	h.traceStep("tdp_put", attribute+"="+value)
 	return h.lass.PutCtx(ctx, attribute, value)
+}
+
+// PutBatch stores every pair in the local space in order and blocks
+// until all are visible — one MPUT round trip instead of N PUTs, the
+// natural shape for the paper's startup pattern (an RM publishing pid,
+// executable name, args and frontend address together). Servers that
+// predate MPUT degrade transparently to pipelined PUTs.
+func (h *Handle) PutBatch(pairs []KV) error {
+	return h.PutBatchCtx(context.Background(), pairs)
+}
+
+// PutBatchCtx is PutBatch with a context for cancellation and span
+// propagation.
+func (h *Handle) PutBatchCtx(ctx context.Context, pairs []KV) error {
+	defer h.observe("put_batch")()
+	if h.cfg.Trace != nil {
+		for _, p := range pairs {
+			h.traceStep("tdp_put", p.Key+"="+p.Value)
+		}
+	}
+	return h.lass.PutBatchCtx(ctx, pairs)
+}
+
+// PutBatchGlobal is PutBatch against the central space (CASS).
+func (h *Handle) PutBatchGlobal(pairs []KV) error {
+	if h.cass == nil {
+		return ErrNoCASS
+	}
+	defer h.observe("put_batch_global")()
+	if h.cfg.Trace != nil {
+		for _, p := range pairs {
+			h.traceStep("tdp_put_global", p.Key+"="+p.Value)
+		}
+	}
+	return h.cass.PutBatch(pairs)
 }
 
 // Get blocks until the attribute exists in the local space and returns

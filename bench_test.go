@@ -65,11 +65,34 @@ func benchClient(b *testing.B, ctx string) *attrspace.Client {
 
 func BenchmarkAttrSpacePut(b *testing.B) {
 	c := benchClient(b, "bench")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Put("attr", "value"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkAttrSpacePutBatch(b *testing.B) {
+	// The MPUT path: 8 pairs per round trip — the startup-publication
+	// shape (pid, executable name, args, frontend address, ...).
+	for _, size := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("pairs=%d", size), func(b *testing.B) {
+			c := benchClient(b, "bench")
+			pairs := make([]attrspace.KV, size)
+			for i := range pairs {
+				pairs[i] = attrspace.KV{Key: fmt.Sprintf("k%d", i), Value: "value"}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.PutBatch(pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size), "puts/op")
+		})
 	}
 }
 
@@ -100,6 +123,7 @@ func BenchmarkAttrSpaceAsyncPutPipelined(b *testing.B) {
 	// Async puts keep many operations in flight on one connection —
 	// the §3.3 motivation for tdp_async_put.
 	c := benchClient(b, "bench")
+	b.ReportAllocs()
 	b.ResetTimer()
 	const window = 64
 	pending := make([]<-chan attrspace.Result, 0, window)
@@ -451,6 +475,7 @@ func BenchmarkCallbackDelivery(b *testing.B) {
 
 func BenchmarkWireEncode(b *testing.B) {
 	m := wire.NewMessage("PUT").Set("id", "12345").Set("attr", "executable_name").Set("value", "foo")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if len(m.Encode()) == 0 {
@@ -459,11 +484,58 @@ func BenchmarkWireEncode(b *testing.B) {
 	}
 }
 
+func BenchmarkWireAppendEncode(b *testing.B) {
+	// The hot-path encoder: appends into a reused buffer, no sort, no
+	// per-message allocation in steady state.
+	m := wire.NewMessage("PUT").Set("id", "12345").Set("attr", "executable_name").Set("value", "foo")
+	buf := make([]byte, 0, m.EncodedSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.AppendEncode(buf[:0])
+		if len(buf) == 0 {
+			b.Fatal("empty encode")
+		}
+	}
+}
+
 func BenchmarkWireDecode(b *testing.B) {
 	payload := wire.NewMessage("PUT").Set("id", "12345").Set("attr", "executable_name").Set("value", "foo").Encode()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := wire.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeInto(b *testing.B) {
+	// The hot-path decoder: reuses one Message (and its field map)
+	// across frames, interning the protocol vocabulary.
+	payload := wire.NewMessage("PUT").Set("id", "12345").Set("attr", "executable_name").Set("value", "foo").Encode()
+	m := new(wire.Message)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.DecodeInto(m, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireConnSend(b *testing.B) {
+	// Full framing path: encode + 4-byte header + one Write, through the
+	// per-connection scratch buffer.
+	c := wire.NewConn(struct {
+		io.Writer
+		io.Reader
+	}{Writer: io.Discard, Reader: nil})
+	m := wire.NewMessage("PUT").Set("id", "12345").Set("attr", "executable_name").Set("value", "foo")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(m); err != nil {
 			b.Fatal(err)
 		}
 	}

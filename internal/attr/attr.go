@@ -187,6 +187,59 @@ func (r *Ref) Put(attribute, value string) error {
 	return nil
 }
 
+// KV is one attribute/value pair in a batched put.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// PutBatch stores every pair in order under a single lock acquisition,
+// waking blocked Gets and notifying subscribers exactly as the
+// equivalent sequence of Puts would (one Update per pair, consecutive
+// sequence numbers). It is the engine behind the MPUT wire verb: a
+// daemon publishing its startup attributes pays one lock round and one
+// wakeup sweep instead of N.
+func (r *Ref) PutBatch(pairs []KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	c, err := r.live()
+	if err != nil {
+		return err
+	}
+	s := r.space
+	type wake struct {
+		chans []chan string
+		value string
+	}
+	var wakes []wake
+	updates := make([]Update, 0, len(pairs))
+	s.mu.Lock()
+	for _, p := range pairs {
+		c.seq++
+		c.attrs[p.Key] = p.Value
+		updates = append(updates, Update{Context: c.name, Attr: p.Key, Value: p.Value, Op: OpPut, Seq: c.seq})
+		if ws := c.waiters[p.Key]; len(ws) > 0 {
+			wakes = append(wakes, wake{chans: ws, value: p.Value})
+			delete(c.waiters, p.Key)
+		}
+	}
+	subs := subscribers(c)
+	s.mu.Unlock()
+
+	for _, w := range wakes {
+		for _, ch := range w.chans {
+			ch <- w.value // buffered, never blocks
+		}
+	}
+	for _, u := range updates {
+		for _, sub := range subs {
+			sub.deliver(u)
+		}
+	}
+	return nil
+}
+
 // TryGet returns the current value without blocking. It returns
 // ErrNotFound when the attribute is absent.
 func (r *Ref) TryGet(attribute string) (string, error) {

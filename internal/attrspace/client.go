@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tdp/internal/attr"
@@ -36,6 +37,10 @@ type Event struct {
 	Seq   uint64
 }
 
+// KV is one attribute/value pair in a batched put; re-exported from
+// the attr engine so wire-level and in-process batches share a type.
+type KV = attr.KV
+
 // Client is a connection to a LASS or CASS, joined to one context.
 // It is safe for concurrent use; any number of blocking Gets may be
 // outstanding simultaneously.
@@ -51,6 +56,14 @@ type Client struct {
 
 	events chan Event
 	subbed bool
+
+	// Async-put coalescing state: queued puts accumulate in putq while
+	// a flush is in flight and leave as one MPUT. noMPUT flips on when
+	// the server answers MPUT with an unknown-verb error (an older
+	// peer); from then on batches fall back to pipelined PUTs.
+	putq     []pendingPut
+	flushing bool
+	noMPUT   atomic.Bool
 
 	// Optional telemetry, installed by SetTelemetry. reg counts
 	// per-verb ops and latencies under "client.*"; tracer starts a
@@ -308,23 +321,168 @@ func (c *Client) GetAsync(attribute string) (<-chan Result, error) {
 	return out, nil
 }
 
+// pendingPut is one queued asynchronous put awaiting a flush.
+type pendingPut struct {
+	attr, value string
+	out         chan Result
+}
+
 // PutAsync issues a PUT whose acknowledgement is delivered on the
 // returned channel: the transport half of tdp_async_put.
+//
+// Puts issued while a previous flush is still on the wire coalesce:
+// the whole backlog leaves as a single MPUT when the in-flight round
+// trip completes, so a producer pipelining N puts pays ~2 round trips
+// instead of N. Each put still completes individually on its own
+// channel. Failures (including a closed client) are delivered through
+// the channel rather than returned here.
 func (c *Client) PutAsync(attribute, value string) (<-chan Result, error) {
-	m := wire.NewMessage("PUT").Set("attr", attribute).Set("value", value)
-	done := c.instrument(context.Background(), "PUT", m)
-	ch, _, err := c.send(m)
-	if err != nil {
-		done()
-		return nil, err
-	}
 	out := make(chan Result, 1)
-	go func() {
-		reply := <-ch
-		done()
-		out <- Result{Attr: attribute, Value: value, Err: replyErr(reply)}
-	}()
+	c.mu.Lock()
+	c.putq = append(c.putq, pendingPut{attr: attribute, value: value, out: out})
+	if !c.flushing {
+		c.flushing = true
+		go c.flushPuts()
+	}
+	c.mu.Unlock()
 	return out, nil
+}
+
+// flushPuts drains the async-put queue, one batch per loop: whatever
+// accumulated during the previous round trip goes out together.
+func (c *Client) flushPuts() {
+	for {
+		c.mu.Lock()
+		batch := c.putq
+		c.putq = nil
+		if len(batch) == 0 {
+			c.flushing = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		c.sendPutBatch(batch)
+	}
+}
+
+// sendPutBatch transmits a batch of queued puts. A single put (or a
+// server without MPUT) uses ordinary pipelined PUTs; otherwise the
+// batch is one MPUT round trip. Every pending channel receives its
+// completion.
+func (c *Client) sendPutBatch(batch []pendingPut) {
+	if len(batch) > 1 && !c.noMPUT.Load() {
+		pairs := make([]KV, len(batch))
+		for i, p := range batch {
+			pairs[i] = KV{Key: p.attr, Value: p.value}
+		}
+		err := c.mput(context.Background(), pairs)
+		if !errors.Is(err, errMPUTUnsupported) {
+			for _, p := range batch {
+				p.out <- Result{Attr: p.attr, Value: p.value, Err: err}
+			}
+			return
+		}
+		// Old server: fall through to individual pipelined PUTs.
+	}
+	type inflight struct {
+		p    pendingPut
+		ch   chan *wire.Message
+		done func()
+	}
+	sent := make([]inflight, 0, len(batch))
+	for _, p := range batch {
+		m := wire.NewMessage("PUT").Set("attr", p.attr).Set("value", p.value)
+		done := c.instrument(context.Background(), "PUT", m)
+		ch, _, err := c.send(m)
+		if err != nil {
+			done()
+			p.out <- Result{Attr: p.attr, Value: p.value, Err: err}
+			continue
+		}
+		sent = append(sent, inflight{p: p, ch: ch, done: done})
+	}
+	for _, f := range sent {
+		reply := <-f.ch
+		f.done()
+		f.p.out <- Result{Attr: f.p.attr, Value: f.p.value, Err: replyErr(reply)}
+	}
+}
+
+// errMPUTUnsupported marks an MPUT rejected by a pre-MPUT server.
+var errMPUTUnsupported = errors.New("attrspace: server does not support MPUT")
+
+// mput performs one MPUT round trip for pairs. It returns
+// errMPUTUnsupported (and latches noMPUT) when the server rejects the
+// verb, so callers can fall back to individual PUTs.
+func (c *Client) mput(ctx context.Context, pairs []KV) error {
+	m := wire.NewMessage("MPUT").SetInt("n", len(pairs))
+	for i, p := range pairs {
+		idx := strconv.Itoa(i)
+		m.Set("k"+idx, p.Key).Set("v"+idx, p.Value)
+	}
+	reply, err := c.call(ctx, "MPUT", m)
+	if err != nil {
+		return err
+	}
+	if reply.Verb == "ERROR" && strings.Contains(reply.Get("error"), "unknown verb") {
+		c.noMPUT.Store(true)
+		return errMPUTUnsupported
+	}
+	return replyErr(reply)
+}
+
+// PutBatch stores every pair in order and waits for the single
+// acknowledgement — one round trip for the whole batch (the Parador
+// startup pattern: a daemon publishing pid, executable, args and
+// friends together). Against a server that predates MPUT it degrades
+// to pipelined individual PUTs and reports the first error.
+func (c *Client) PutBatch(pairs []KV) error {
+	return c.PutBatchCtx(context.Background(), pairs)
+}
+
+// PutBatchCtx is PutBatch with a context for cancellation and span
+// propagation.
+func (c *Client) PutBatchCtx(ctx context.Context, pairs []KV) error {
+	switch len(pairs) {
+	case 0:
+		return nil
+	case 1:
+		return c.PutCtx(ctx, pairs[0].Key, pairs[0].Value)
+	}
+	if !c.noMPUT.Load() {
+		err := c.mput(ctx, pairs)
+		if !errors.Is(err, errMPUTUnsupported) {
+			return err
+		}
+	}
+	// Fallback: pipeline individual PUTs, then collect every ack.
+	type inflight struct {
+		ch   chan *wire.Message
+		done func()
+	}
+	sent := make([]inflight, 0, len(pairs))
+	var firstErr error
+	for _, p := range pairs {
+		m := wire.NewMessage("PUT").Set("attr", p.Key).Set("value", p.Value)
+		done := c.instrument(ctx, "PUT", m)
+		ch, _, err := c.send(m)
+		if err != nil {
+			done()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent = append(sent, inflight{ch: ch, done: done})
+	}
+	for _, f := range sent {
+		reply := <-f.ch
+		f.done()
+		if err := replyErr(reply); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Result is the completion of an asynchronous get or put.
@@ -412,7 +570,9 @@ func (c *Client) Snapshot() (map[string]string, error) {
 }
 
 // Subscribe starts event push from the server. Events arrive on the
-// Events channel; the channel closes when the client does.
+// Events channel; the channel closes when the client does. A failed
+// SUB leaves the client unsubscribed, so the caller may retry;
+// concurrent Subscribes collapse to one wire request.
 func (c *Client) Subscribe() error {
 	c.mu.Lock()
 	if c.subbed {
@@ -421,11 +581,21 @@ func (c *Client) Subscribe() error {
 	}
 	c.subbed = true
 	c.mu.Unlock()
+	unsub := func() {
+		c.mu.Lock()
+		c.subbed = false
+		c.mu.Unlock()
+	}
 	reply, err := c.call(context.Background(), "SUB", wire.NewMessage("SUB"))
 	if err != nil {
+		unsub()
 		return err
 	}
-	return replyErr(reply)
+	if err := replyErr(reply); err != nil {
+		unsub()
+		return err
+	}
+	return nil
 }
 
 // Events returns the subscription event channel. It never yields

@@ -10,6 +10,7 @@
 //	client → server:
 //	  HELLO   context=<name>                 join a context
 //	  PUT     id=<n> attr=<a> value=<v>      store, ack with OK
+//	  MPUT    id=<n> n=<c> k0=.. v0=.. k1=.. store c pairs in order, one OK
 //	  GET     id=<n> attr=<a>                blocking get, reply VALUE
 //	  TRYGET  id=<n> attr=<a>                non-blocking, VALUE or NOTFOUND
 //	  DELETE  id=<n> attr=<a>                remove, ack with OK
@@ -29,7 +30,10 @@
 //
 // Every reply carries the request id, so a client may keep many
 // blocking GETs outstanding on one connection — this is what makes the
-// paper's tdp_async_get natural to implement.
+// paper's tdp_async_get natural to implement. MPUT batches a burst of
+// puts (a tool daemon publishing its startup attributes) into one
+// round trip; servers that predate it answer with an unknown-verb
+// ERROR and clients fall back to individual PUTs.
 //
 // Requests may additionally carry the reserved _tid/_sid span-tracing
 // fields (wire.FieldTraceID); the server then records its share of the
@@ -46,6 +50,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tdp/internal/attr"
@@ -56,7 +61,7 @@ import (
 // serverVerbs are the request verbs the server counts and times; one
 // counter "attrspace.ops.<verb>" and one latency histogram
 // "attrspace.latency.<verb>" exist per verb.
-var serverVerbs = []string{"hello", "put", "get", "tryget", "delete", "snap", "sub", "stats"}
+var serverVerbs = []string{"hello", "put", "mput", "get", "tryget", "delete", "snap", "sub", "stats"}
 
 // verbMetrics caches one verb's hot-path metric handles.
 type verbMetrics struct {
@@ -64,22 +69,33 @@ type verbMetrics struct {
 	lat *telemetry.Histogram
 }
 
+// telemetryHandles is an immutable snapshot of the server's telemetry
+// wiring. The request path loads it through one atomic pointer read —
+// no mutex — so concurrent requests never contend on observation, and
+// SetTelemetry swaps the whole bundle at once (registry, tracer, and
+// the per-verb handles derived from the registry stay consistent).
+type telemetryHandles struct {
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	verbs  map[string]verbMetrics // read-only after construction
+	gConns *telemetry.Gauge
+}
+
 // Server is one attribute space server instance (a LASS or the CASS).
 type Server struct {
 	space *attr.Space
 
+	// mu guards connection lifecycle (listener/conns/closed) and
+	// serializes SetTelemetry stores. It is NOT taken on the request
+	// fast path — per-request observation goes through tel.
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[*serverConn]struct{}
 	closed   bool
 
-	// Telemetry. reg/tracer/logger are replaceable before Serve via
-	// SetTelemetry/SetLogger; verbs caches per-verb handles.
-	reg    *telemetry.Registry
-	tracer *telemetry.Tracer
-	logger *telemetry.Logger
-	verbs  map[string]verbMetrics
-	gConns *telemetry.Gauge
+	// tel is the current telemetry bundle; never nil after NewServer.
+	tel    atomic.Pointer[telemetryHandles]
+	logger atomic.Pointer[telemetry.Logger]
 }
 
 // NewServer returns a server around a fresh attribute space.
@@ -102,47 +118,48 @@ func NewServerWithSpace(space *attr.Space) *Server {
 // tracer holding its span log. Either may be nil to keep the current
 // one. The tracer's actor name is what distinguishes a CASS from a
 // LASS in cross-daemon traces; cmd/cassd passes NewTracer("cassd").
-// Call before Serve.
+// Safe to call at any time: in-flight requests finish against the old
+// bundle, subsequent requests (and subsequently accepted connections)
+// observe into the new one.
 func (s *Server) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	h := &telemetryHandles{}
+	if cur := s.tel.Load(); cur != nil {
+		*h = *cur
+	}
 	if reg != nil {
-		s.reg = reg
-		s.verbs = make(map[string]verbMetrics, len(serverVerbs))
+		h.reg = reg
+		h.verbs = make(map[string]verbMetrics, len(serverVerbs))
 		for _, v := range serverVerbs {
-			s.verbs[v] = verbMetrics{
+			h.verbs[v] = verbMetrics{
 				ops: reg.Counter("attrspace.ops." + v),
 				lat: reg.Histogram("attrspace.latency."+v, nil),
 			}
 		}
-		s.gConns = reg.Gauge("attrspace.conns")
+		h.gConns = reg.Gauge("attrspace.conns")
 	}
 	if tracer != nil {
-		s.tracer = tracer
+		h.tracer = tracer
 	}
+	s.tel.Store(h)
 }
 
 // Telemetry returns the server's metrics registry.
 func (s *Server) Telemetry() *telemetry.Registry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reg
+	return s.tel.Load().reg
 }
 
 // Tracer returns the server's span log.
 func (s *Server) Tracer() *telemetry.Tracer {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tracer
+	return s.tel.Load().tracer
 }
 
 // SetLogger installs the leveled logger used for connection-level
 // diagnostics and serve errors. The default (nil) discards, which is
 // what tests want.
 func (s *Server) SetLogger(l *telemetry.Logger) {
-	s.mu.Lock()
-	s.logger = l
-	s.mu.Unlock()
+	s.logger.Store(l)
 }
 
 // SetLogf installs a printf-style logging function (e.g. log.Printf).
@@ -153,21 +170,18 @@ func (s *Server) SetLogf(f func(format string, args ...any)) {
 }
 
 func (s *Server) log() *telemetry.Logger {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.logger
+	return s.logger.Load()
 }
 
 // Space returns the underlying attribute space.
 func (s *Server) Space() *attr.Space { return s.space }
 
-// Stats returns operation counters since start. It reads the same
-// registry the STATS verb exposes; the method survives as a
-// convenience for the characterization benchmarks.
+// Stats returns operation counters since start. It reads through the
+// same atomically-snapshotted handle bundle the request path uses, so
+// it never races a concurrent SetTelemetry and always reports one
+// registry's counters consistently.
 func (s *Server) Stats() (puts, gets, tryGets, deletes int64) {
-	s.mu.Lock()
-	reg := s.reg
-	s.mu.Unlock()
+	reg := s.tel.Load().reg
 	return reg.Counter("attrspace.ops.put").Value(),
 		reg.Counter("attrspace.ops.get").Value(),
 		reg.Counter("attrspace.ops.tryget").Value(),
@@ -175,11 +189,10 @@ func (s *Server) Stats() (puts, gets, tryGets, deletes int64) {
 }
 
 // observe bumps a verb's counter; the returned func records its
-// latency when the reply goes out.
+// latency when the reply goes out. Lock-free: one atomic load plus a
+// probe of an immutable map.
 func (s *Server) observe(verb string) func() {
-	s.mu.Lock()
-	vm, ok := s.verbs[verb]
-	s.mu.Unlock()
+	vm, ok := s.tel.Load().verbs[verb]
 	if !ok {
 		return func() {}
 	}
@@ -198,7 +211,6 @@ func (s *Server) Serve(l net.Listener) error {
 		return nil
 	}
 	s.listener = l
-	reg := s.reg
 	s.mu.Unlock()
 	for {
 		c, err := l.Accept()
@@ -212,7 +224,10 @@ func (s *Server) Serve(l net.Listener) error {
 			return err
 		}
 		sc := &serverConn{srv: s, wc: wire.NewConn(c), raw: c}
-		sc.wc.InstrumentRegistry(reg)
+		// Re-read the current registry per accept, so connections made
+		// after SetTelemetry count into the new registry.
+		tel := s.tel.Load()
+		sc.wc.InstrumentRegistry(tel.reg)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -220,7 +235,7 @@ func (s *Server) Serve(l net.Listener) error {
 			return nil
 		}
 		s.conns[sc] = struct{}{}
-		s.gConns.Set(int64(len(s.conns)))
+		tel.gConns.Set(int64(len(s.conns)))
 		s.mu.Unlock()
 		s.log().Debugf("attrspace: accepted %v", c.RemoteAddr())
 		go sc.run()
@@ -252,7 +267,7 @@ func (s *Server) Close() {
 func (s *Server) dropConn(c *serverConn) {
 	s.mu.Lock()
 	delete(s.conns, c)
-	s.gConns.Set(int64(len(s.conns)))
+	s.tel.Load().gConns.Set(int64(len(s.conns)))
 	s.mu.Unlock()
 }
 
@@ -272,22 +287,22 @@ func (s *Server) StartMonitorPublisher(contextName, daemon string, interval time
 	done := make(chan struct{})
 	var once sync.Once
 	publish := func() {
-		s.mu.Lock()
-		reg := s.reg
-		s.mu.Unlock()
-		snap := reg.Snapshot()
+		snap := s.tel.Load().reg.Snapshot()
 		prefix := telemetry.MonitorPrefix + daemon + "."
+		pairs := make([]attr.KV, 0, len(snap.Counters)+len(snap.Gauges)+3*len(snap.Histograms))
 		for name, v := range snap.Counters {
-			ref.Put(prefix+name, strconv.FormatInt(v, 10))
+			pairs = append(pairs, attr.KV{Key: prefix + name, Value: strconv.FormatInt(v, 10)})
 		}
 		for name, v := range snap.Gauges {
-			ref.Put(prefix+name, strconv.FormatInt(v, 10))
+			pairs = append(pairs, attr.KV{Key: prefix + name, Value: strconv.FormatInt(v, 10)})
 		}
 		for name, h := range snap.Histograms {
-			ref.Put(prefix+name+".count", strconv.FormatInt(h.Count, 10))
-			ref.Put(prefix+name+".p50", strconv.FormatFloat(h.Quantile(0.5), 'g', 6, 64))
-			ref.Put(prefix+name+".p99", strconv.FormatFloat(h.Quantile(0.99), 'g', 6, 64))
+			pairs = append(pairs,
+				attr.KV{Key: prefix + name + ".count", Value: strconv.FormatInt(h.Count, 10)},
+				attr.KV{Key: prefix + name + ".p50", Value: strconv.FormatFloat(h.Quantile(0.5), 'g', 6, 64)},
+				attr.KV{Key: prefix + name + ".p99", Value: strconv.FormatFloat(h.Quantile(0.99), 'g', 6, 64)})
 		}
+		ref.PutBatch(pairs)
 	}
 	publish()
 	go func() {
@@ -341,9 +356,13 @@ func (c *serverConn) run() {
 		c.raw.Close()
 	}()
 
+	// One request message is reused across the connection's whole
+	// life: every handler either finishes with the message before the
+	// next RecvInto or extracts plain strings first (the blocking-GET
+	// goroutine), so nothing retains it.
+	m := new(wire.Message)
 	for {
-		m, err := c.wc.Recv()
-		if err != nil {
+		if err := c.wc.RecvInto(m); err != nil {
 			return // disconnect
 		}
 		switch m.Verb {
@@ -370,7 +389,7 @@ func (c *serverConn) run() {
 			// any attribute space, so monitoring tools can probe a
 			// server without joining (and without bumping refcounts).
 			c.handleStats(m)
-		case "PUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
+		case "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
 			c.handleOp(ctx, m)
 		default:
 			c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).
@@ -386,10 +405,7 @@ func (c *serverConn) startSpan(m *wire.Message) *telemetry.Span {
 	if tid == "" {
 		return nil
 	}
-	srv := c.srv
-	srv.mu.Lock()
-	tracer := srv.tracer
-	srv.mu.Unlock()
+	tracer := c.srv.tel.Load().tracer
 	return tracer.StartChild("attrspace."+strings.ToLower(m.Verb), tid, sid)
 }
 
@@ -397,16 +413,14 @@ func (c *serverConn) handleStats(m *wire.Message) {
 	srv := c.srv
 	done := srv.observe("stats")
 	sp := c.startSpan(m)
-	srv.mu.Lock()
-	reg, tracer := srv.reg, srv.tracer
-	srv.mu.Unlock()
-	data, err := json.Marshal(reg.Snapshot())
+	tel := srv.tel.Load()
+	data, err := json.Marshal(tel.reg.Snapshot())
 	if err != nil {
 		c.replyErr(m.Get("id"), err)
 	} else {
 		c.reply(wire.NewMessage("STATSV").
 			Set("id", m.Get("id")).
-			Set("daemon", tracer.Actor()).
+			Set("daemon", tel.tracer.Actor()).
 			Set("json", string(data)))
 	}
 	done()
@@ -441,6 +455,20 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		}
 		c.reply(wire.NewMessage("OK").Set("id", id))
 		finish()
+	case "MPUT":
+		pairs, err := decodeBatch(m)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		if err := ref.PutBatch(pairs); err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.reply(wire.NewMessage("OK").Set("id", id))
+		finish()
 	case "TRYGET":
 		v, err := ref.TryGet(m.Get("attr"))
 		switch {
@@ -453,12 +481,20 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		}
 		finish()
 	case "GET":
+		attribute := m.Get("attr")
+		// Fast path: when the attribute is already present the GET
+		// cannot block, so answer inline and skip the per-request
+		// goroutine entirely — the common case once a job is running.
+		if v, err := ref.TryGet(attribute); err == nil {
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).Set("value", v))
+			finish()
+			return
+		}
 		// Blocking get: serve it on its own goroutine so this session
 		// keeps processing other requests (the multiplexing that makes
 		// async gets possible on a single connection). The latency
 		// histogram therefore includes the time spent blocked — the
 		// number a tool writer actually experiences.
-		attribute := m.Get("attr")
 		go func() {
 			v, err := ref.Get(ctx, attribute)
 			if err != nil {
@@ -512,21 +548,74 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 			finish()
 			return
 		}
-		go func() {
-			for u := range sub.Updates() {
-				ev := wire.NewMessage("EVENT").
-					Set("attr", u.Attr).
-					Set("value", u.Value).
-					Set("op", u.Op.String()).
-					Set("seq", strconv.FormatUint(u.Seq, 10))
-				if err := c.wc.Send(ev); err != nil {
-					return
-				}
-			}
-		}()
+		go c.pushEvents(sub)
 		c.reply(wire.NewMessage("OK").Set("id", id))
 		finish()
 	}
+}
+
+// decodeBatch extracts the k0/v0..k(n-1)/v(n-1) pairs of an MPUT. The
+// count must be sane before any per-pair work happens: a hostile n
+// cannot cost more than the fields actually present.
+func decodeBatch(m *wire.Message) ([]attr.KV, error) {
+	n, ok := m.Lookup("n")
+	if !ok {
+		return nil, errors.New("mput: missing n")
+	}
+	count, err := strconv.Atoi(n)
+	if err != nil || count < 0 || count > len(m.Fields) {
+		return nil, fmt.Errorf("mput: bad n %q", n)
+	}
+	pairs := make([]attr.KV, 0, count)
+	for i := 0; i < count; i++ {
+		k, ok := m.Lookup("k" + strconv.Itoa(i))
+		if !ok {
+			return nil, fmt.Errorf("mput: missing k%d", i)
+		}
+		v, ok := m.Lookup("v" + strconv.Itoa(i))
+		if !ok {
+			return nil, fmt.Errorf("mput: missing v%d", i)
+		}
+		pairs = append(pairs, attr.KV{Key: k, Value: v})
+	}
+	return pairs, nil
+}
+
+// pushEvents forwards subscription updates to the peer. Bursts (a
+// batched put, a publisher faster than the network) are drained under
+// one Cork so the whole burst leaves in a single write.
+func (c *serverConn) pushEvents(sub *attr.Subscription) {
+	updates := sub.Updates()
+	for u := range updates {
+		c.wc.Cork()
+		err := c.sendEvent(u)
+	drain:
+		for err == nil {
+			select {
+			case u, ok := <-updates:
+				if !ok {
+					break drain
+				}
+				err = c.sendEvent(u)
+			default:
+				break drain
+			}
+		}
+		if uerr := c.wc.Uncork(); err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (c *serverConn) sendEvent(u attr.Update) error {
+	return c.wc.Send(wire.NewMessage("EVENT").
+		Set("attr", u.Attr).
+		Set("value", u.Value).
+		Set("op", u.Op.String()).
+		Set("seq", strconv.FormatUint(u.Seq, 10)))
 }
 
 func (c *serverConn) reply(m *wire.Message) {

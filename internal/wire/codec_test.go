@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+
+	"tdp/internal/telemetry"
+)
+
+// countingWriter records every Write call for syscall-count assertions.
+type countingWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+func (w *countingWriter) Read(p []byte) (int, error) { return w.buf.Read(p) }
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	cases := []*Message{
+		NewMessage("PING"),
+		NewMessage("PUT").Set("attr", "pid").Set("value", "1234"),
+		NewMessage("MPUT").SetInt("n", 2).Set("k0", "a").Set("v0", "1").Set("k1", "b").Set("v1", "2"),
+		NewMessage("BIN").Set("blob", "a\x00b:c;d\nnewline"),
+	}
+	for _, m := range cases {
+		// AppendEncode is order-free, so compare decoded forms, not bytes.
+		got, err := Decode(m.AppendEncode(nil))
+		if err != nil {
+			t.Fatalf("Decode(AppendEncode(%v)): %v", m, err)
+		}
+		if got.Verb != m.Verb || !reflect.DeepEqual(got.Fields, m.Fields) {
+			t.Errorf("AppendEncode round trip mismatch: %v vs %v", m, got)
+		}
+		if want, have := m.EncodedSize(), len(m.AppendEncode(nil)); want != have {
+			t.Errorf("EncodedSize = %d, AppendEncode produced %d bytes", want, have)
+		}
+		if want, have := m.EncodedSize(), len(m.Encode()); want != have {
+			t.Errorf("EncodedSize = %d, Encode produced %d bytes", want, have)
+		}
+	}
+}
+
+func TestAppendEncodeAppends(t *testing.T) {
+	prefix := []byte("HDR!")
+	out := NewMessage("PING").AppendEncode(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("AppendEncode did not preserve the prefix: %q", out)
+	}
+	if _, err := Decode(out[len(prefix):]); err != nil {
+		t.Fatalf("appended payload does not decode: %v", err)
+	}
+}
+
+func TestDecodeIntoReusesMessage(t *testing.T) {
+	m := new(Message)
+	first := NewMessage("PUT").Set("attr", "pid").Set("value", "1").Set("stale", "yes")
+	if err := DecodeInto(m, first.Encode()); err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	second := NewMessage("GET").Set("attr", "status")
+	if err := DecodeInto(m, second.Encode()); err != nil {
+		t.Fatalf("DecodeInto reuse: %v", err)
+	}
+	if m.Verb != "GET" || !reflect.DeepEqual(m.Fields, second.Fields) {
+		t.Errorf("reused message holds stale state: %v", m)
+	}
+	if _, ok := m.Fields["stale"]; ok {
+		t.Error("field from previous decode survived reuse")
+	}
+}
+
+func TestDecodeIntoDoesNotAliasPayload(t *testing.T) {
+	payload := NewMessage("PUT").Set("attr", "pid").Set("value", "1234").Encode()
+	m := new(Message)
+	if err := DecodeInto(m, payload); err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	for i := range payload {
+		payload[i] = 'X' // caller reuses the buffer
+	}
+	if m.Get("attr") != "pid" || m.Get("value") != "1234" {
+		t.Errorf("decoded message aliased the payload buffer: %v", m)
+	}
+}
+
+func TestDecodeInternsProtocolVocabulary(t *testing.T) {
+	payload := NewMessage("PUT").Set("attr", "pid").Set("value", "1234").Encode()
+	m, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if m.Verb != "PUT" {
+		t.Fatalf("verb = %q", m.Verb)
+	}
+	// Interned strings are the canonical instances from the table.
+	if got := interned["PUT"]; got != m.Verb {
+		t.Errorf("verb not interned")
+	}
+}
+
+func TestDecodeHostileFieldCount(t *testing.T) {
+	// A count far beyond the actual payload must fail cheaply, not
+	// allocate a giant map first.
+	payload := []byte("3:PUT999999999;4:attr3:pid")
+	if _, err := Decode(payload); err == nil {
+		t.Fatal("hostile field count accepted")
+	}
+}
+
+func TestSendSingleWrite(t *testing.T) {
+	w := &countingWriter{}
+	c := NewConn(w)
+	if err := c.Send(NewMessage("PUT").Set("attr", "pid").Set("value", "1")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if w.writes != 1 {
+		t.Errorf("Send used %d Writes, want 1 (header+payload must leave together)", w.writes)
+	}
+	m, err := NewConn(w).Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.Verb != "PUT" || m.Get("attr") != "pid" {
+		t.Errorf("frame corrupted by single-write path: %v", m)
+	}
+}
+
+func TestCorkBatchesIntoOneWrite(t *testing.T) {
+	w := &countingWriter{}
+	c := NewConn(w)
+	c.Cork()
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := c.Send(NewMessage("EVENT").SetInt("seq", i)); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if w.writes != 0 {
+		t.Fatalf("corked Send wrote %d times, want 0", w.writes)
+	}
+	if err := c.Uncork(); err != nil {
+		t.Fatalf("Uncork: %v", err)
+	}
+	if w.writes != 1 {
+		t.Errorf("Uncork used %d Writes, want 1", w.writes)
+	}
+	r := NewConn(w)
+	for i := 0; i < n; i++ {
+		m, err := r.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if m.Int("seq", -1) != i {
+			t.Errorf("message %d out of order: %v", i, m)
+		}
+	}
+}
+
+func TestCorkNests(t *testing.T) {
+	w := &countingWriter{}
+	c := NewConn(w)
+	c.Cork()
+	c.Cork()
+	c.Send(NewMessage("A"))
+	if err := c.Uncork(); err != nil {
+		t.Fatalf("inner Uncork: %v", err)
+	}
+	if w.writes != 0 {
+		t.Fatal("inner Uncork flushed before the outer section ended")
+	}
+	c.Send(NewMessage("B"))
+	if err := c.Uncork(); err != nil {
+		t.Fatalf("outer Uncork: %v", err)
+	}
+	if w.writes != 1 {
+		t.Errorf("outer Uncork used %d Writes, want 1", w.writes)
+	}
+	if err := c.Uncork(); err != nil {
+		t.Errorf("surplus Uncork errored: %v", err)
+	}
+}
+
+func TestRecvIntoReusesAcrossFrames(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewConn(a), NewConn(b)
+	go func() {
+		ca.Send(NewMessage("PUT").Set("attr", "pid").Set("value", "1").Set("extra", "x"))
+		ca.Send(NewMessage("GET").Set("attr", "status"))
+	}()
+	m := new(Message)
+	if err := cb.RecvInto(m); err != nil {
+		t.Fatalf("RecvInto 1: %v", err)
+	}
+	if m.Verb != "PUT" || m.Get("extra") != "x" {
+		t.Fatalf("first frame wrong: %v", m)
+	}
+	if err := cb.RecvInto(m); err != nil {
+		t.Fatalf("RecvInto 2: %v", err)
+	}
+	if m.Verb != "GET" || m.Get("attr") != "status" {
+		t.Errorf("second frame wrong: %v", m)
+	}
+	if _, ok := m.Lookup("extra"); ok {
+		t.Error("stale field survived RecvInto reuse")
+	}
+}
+
+func TestSendCorkedMetricsCountOnFlush(t *testing.T) {
+	// Corked frames count bytes/messages when they actually hit the
+	// wire, so a connection that dies mid-cork never overreports.
+	w := &countingWriter{}
+	c := NewConn(w)
+	reg := telemetry.NewRegistry()
+	c.InstrumentRegistry(reg)
+	c.Cork()
+	c.Send(NewMessage("A"))
+	c.Send(NewMessage("B"))
+	if got := reg.Counter("wire.tx.msgs").Value(); got != 0 {
+		t.Fatalf("tx.msgs = %d before flush, want 0", got)
+	}
+	if err := c.Uncork(); err != nil {
+		t.Fatalf("Uncork: %v", err)
+	}
+	if got := reg.Counter("wire.tx.msgs").Value(); got != 2 {
+		t.Errorf("tx.msgs = %d after flush, want 2", got)
+	}
+	if got := reg.Counter("wire.tx.bytes").Value(); got != int64(w.buf.Len()) {
+		t.Errorf("tx.bytes = %d, want %d", got, w.buf.Len())
+	}
+}

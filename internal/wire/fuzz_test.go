@@ -8,12 +8,21 @@ import (
 
 // FuzzDecode is the native fuzz target wired into the CI smoke run
 // (`make fuzz`): Decode must never panic, and anything it accepts must
-// round-trip stably through Encode.
+// round-trip stably through Encode, AppendEncode (the unsorted
+// hot-path encoder), and DecodeInto (the reusing decoder).
 func FuzzDecode(f *testing.F) {
 	f.Add([]byte(""))
 	f.Add(NewMessage("PUT").Set("attr", "pid").Set("value", "1234").Encode())
 	f.Add(NewMessage("STATS").SetTrace("aaaabbbbccccdddd", "0123456789abcdef").Encode())
 	f.Add([]byte("3:PUT2;4:attr3:pid"))
+	// Hot-path seeds: batched puts, hot-path encoder output, hostile counts.
+	f.Add(NewMessage("MPUT").SetInt("n", 2).
+		Set("k0", "pid").Set("v0", "1234").
+		Set("k1", "executable_name").Set("v1", "science").Encode())
+	f.Add(NewMessage("MPUT").SetInt("n", -3).Set("k0", "a").Encode())
+	f.Add(NewMessage("EVENT").Set("attr", "a").Set("op", "put").Set("seq", "7").AppendEncode(nil))
+	f.Add([]byte("3:PUT999999999;4:attr3:pid")) // count far past payload
+	f.Add([]byte("3:PUT0;"))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		m, err := Decode(payload)
 		if err != nil {
@@ -25,6 +34,17 @@ func FuzzDecode(f *testing.F) {
 		}
 		if again.Verb != m.Verb || !reflect.DeepEqual(again.Fields, m.Fields) {
 			t.Fatalf("unstable round trip: %v vs %v", m, again)
+		}
+		// The hot-path pair must agree with the deterministic pair.
+		reused := new(Message)
+		if err := DecodeInto(reused, m.AppendEncode(nil)); err != nil {
+			t.Fatalf("AppendEncode output does not DecodeInto: %v", err)
+		}
+		if reused.Verb != m.Verb || !reflect.DeepEqual(reused.Fields, m.Fields) {
+			t.Fatalf("hot-path round trip disagrees: %v vs %v", m, reused)
+		}
+		if m.EncodedSize() != len(m.Encode()) {
+			t.Fatalf("EncodedSize %d != len(Encode) %d", m.EncodedSize(), len(m.Encode()))
 		}
 	})
 }

@@ -9,6 +9,13 @@
 // length-prefixed so values may contain any byte sequence. The format
 // is deliberately simple (the paper constrains attribute values to
 // strings) and has no external dependencies.
+//
+// The codec is allocation-conscious: AppendEncode appends into a
+// caller-supplied buffer in map order (no sort), DecodeInto reuses a
+// Message and interns the protocol's fixed key/verb vocabulary, and
+// Conn keeps per-connection scratch buffers so a steady-state
+// Send/Recv cycle allocates only the decoded value strings. Encode
+// remains deterministic (sorted keys) for tests and logs.
 package wire
 
 import (
@@ -55,6 +62,44 @@ const (
 // IsReserved reports whether a field key belongs to the protocol
 // layer rather than the application.
 func IsReserved(key string) bool { return strings.HasPrefix(key, "_") }
+
+// interned holds the protocol's fixed vocabulary of verbs and field
+// keys. Decoders look incoming byte slices up here before converting,
+// so the hot path allocates no strings for the keys and verbs that
+// make up almost every message. The map is built once at init and
+// read-only afterwards, hence safe for concurrent use. Lookups with a
+// []byte key (`interned[string(b)]`) do not allocate.
+var interned = map[string]string{}
+
+func init() {
+	words := []string{
+		// Attribute space verbs (requests and replies).
+		"HELLO", "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB",
+		"STATS", "EXIT", "OK", "VALUE", "NOTFOUND", "SNAPV", "STATSV",
+		"ERROR", "EVENT",
+		// Common field keys.
+		"id", "attr", "value", "context", "error", "daemon", "json",
+		"n", "seq", "op", "who",
+		FieldTraceID, FieldSpanID,
+	}
+	// Batched put / snapshot field keys k0..k31, v0..v31; larger
+	// batches fall back to ordinary string conversion.
+	for i := 0; i < 32; i++ {
+		words = append(words, "k"+strconv.Itoa(i), "v"+strconv.Itoa(i))
+	}
+	for _, w := range words {
+		interned[w] = w
+	}
+}
+
+// intern returns the canonical string for b, allocating only when b is
+// outside the protocol's fixed vocabulary.
+func intern(b []byte) string {
+	if s, ok := interned[string(b)]; ok {
+		return s
+	}
+	return string(b)
+}
 
 // Message is a verb plus a set of string key/value fields. It is the
 // unit of exchange on every control connection.
@@ -127,72 +172,179 @@ func (m *Message) Int(key string, def int) int {
 
 // String renders the message for logs and error text.
 func (m *Message) String() string {
-	keys := make([]string, 0, len(m.Fields))
-	for k := range m.Fields {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	s := m.Verb
+	keys := sortedFieldKeys(m.Fields)
+	var b strings.Builder
+	b.Grow(len(m.Verb) + 16*len(keys))
+	b.WriteString(m.Verb)
 	for _, k := range keys {
-		s += fmt.Sprintf(" %s=%q", k, m.Fields[k])
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(m.Fields[k]))
 	}
-	return s
+	return b.String()
+}
+
+// EncodedSize returns the exact number of payload bytes Encode and
+// AppendEncode produce for m.
+func (m *Message) EncodedSize() int {
+	n := varStrSize(len(m.Verb)) + decimalDigits(len(m.Fields)) + 1
+	for k, v := range m.Fields {
+		n += varStrSize(len(k)) + varStrSize(len(v))
+	}
+	return n
 }
 
 // Encode serializes the message payload (without the frame header).
 //
 // Layout: varstr(verb) varint(nfields) { varstr(key) varstr(value) }*
 // where varstr is a decimal length, ':', then the bytes.
+//
+// Encode emits fields in sorted key order — the deterministic mode
+// tests and golden files rely on. The transmit hot path (Conn.Send)
+// uses AppendEncode instead, which skips the sort: receivers are
+// order-insensitive, so field order is not part of the protocol.
 func (m *Message) Encode() []byte {
-	var buf []byte
+	buf := make([]byte, 0, m.EncodedSize())
 	buf = appendVarStr(buf, m.Verb)
 	buf = strconv.AppendInt(buf, int64(len(m.Fields)), 10)
 	buf = append(buf, ';')
-	keys := make([]string, 0, len(m.Fields))
-	for k := range m.Fields {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys) // deterministic encoding simplifies testing
-	for _, k := range keys {
+	for _, k := range sortedFieldKeys(m.Fields) {
 		buf = appendVarStr(buf, k)
 		buf = appendVarStr(buf, m.Fields[k])
 	}
 	return buf
 }
 
-// Decode parses a payload produced by Encode.
+// AppendEncode appends the encoded payload to buf and returns the
+// extended slice. Fields are emitted in map order — no per-message
+// key sort and no allocation beyond (amortized) buffer growth, which
+// a caller reusing buf across messages pays only once. Use Encode
+// when deterministic bytes matter.
+func (m *Message) AppendEncode(buf []byte) []byte {
+	buf = appendVarStr(buf, m.Verb)
+	buf = strconv.AppendInt(buf, int64(len(m.Fields)), 10)
+	buf = append(buf, ';')
+	for k, v := range m.Fields {
+		buf = appendVarStr(buf, k)
+		buf = appendVarStr(buf, v)
+	}
+	return buf
+}
+
+// sortedFieldKeys returns the field keys in sorted order. Small key
+// sets (every protocol message; snapshots excepted) sort by insertion
+// into a stack-backed array, avoiding the sort.Strings allocation.
+func sortedFieldKeys(fields map[string]string) []string {
+	n := len(fields)
+	var arr [16]string
+	keys := arr[:0]
+	if n > len(arr) {
+		keys = make([]string, 0, n)
+	}
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	if n > 32 {
+		sort.Strings(keys)
+		return keys
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Decode parses a payload produced by Encode or AppendEncode.
 func Decode(payload []byte) (*Message, error) {
+	m := new(Message)
+	if err := DecodeInto(m, payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto parses a payload into m, reusing m's field map when
+// present (it is cleared first). Decoded messages share no memory with
+// payload, so callers may reuse the payload buffer immediately. Known
+// protocol verbs and field keys are interned rather than allocated.
+// On error m's contents are unspecified.
+func DecodeInto(m *Message, payload []byte) error {
 	verb, rest, err := readVarStr(payload)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n, rest, err := readCount(rest)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	msg := &Message{Verb: verb, Fields: make(map[string]string, n)}
+	m.Verb = intern(verb)
+	// Cap the map size hint by what the remaining bytes could possibly
+	// hold (a field is at least 4 bytes: "0:0:"), so a hostile count
+	// cannot force a huge allocation before parsing fails.
+	hint := n
+	if max := len(rest) / 4; hint > max {
+		hint = max
+	}
+	if m.Fields == nil {
+		m.Fields = make(map[string]string, hint)
+	} else {
+		clear(m.Fields)
+	}
 	for i := 0; i < n; i++ {
-		var k, v string
+		var k, v []byte
 		k, rest, err = readVarStr(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, rest, err = readVarStr(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		msg.Fields[k] = v
+		m.Fields[intern(k)] = string(v)
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))
 	}
-	return msg, nil
+	return nil
 }
 
 func appendVarStr(buf []byte, s string) []byte {
 	buf = strconv.AppendInt(buf, int64(len(s)), 10)
 	buf = append(buf, ':')
 	return append(buf, s...)
+}
+
+// varStrSize is the encoded size of a string of length l.
+func varStrSize(l int) int { return decimalDigits(l) + 1 + l }
+
+// decimalDigits is the width of n (>= 0) in base 10.
+func decimalDigits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}
+
+// parseLen parses a non-negative decimal length from b. It accepts
+// only plain digit runs (no sign, no spaces) of at most 9 digits —
+// anything longer necessarily exceeds MaxFrameSize.
+func parseLen(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 9 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
 
 func readCount(b []byte) (int, []byte, error) {
@@ -203,41 +355,53 @@ func readCount(b []byte) (int, []byte, error) {
 	if i == len(b) {
 		return 0, nil, fmt.Errorf("%w: missing field count", ErrMalformed)
 	}
-	n, err := strconv.Atoi(string(b[:i]))
-	if err != nil || n < 0 {
+	n, ok := parseLen(b[:i])
+	if !ok {
 		return 0, nil, fmt.Errorf("%w: bad field count", ErrMalformed)
 	}
 	return n, b[i+1:], nil
 }
 
-func readVarStr(b []byte) (string, []byte, error) {
+// readVarStr slices one length-prefixed string out of b. The returned
+// bytes alias b; callers copy (or intern) before retaining them.
+func readVarStr(b []byte) ([]byte, []byte, error) {
 	i := 0
 	for i < len(b) && b[i] != ':' {
 		i++
 	}
 	if i == len(b) {
-		return "", nil, fmt.Errorf("%w: missing length separator", ErrMalformed)
+		return nil, nil, fmt.Errorf("%w: missing length separator", ErrMalformed)
 	}
-	n, err := strconv.Atoi(string(b[:i]))
-	if err != nil || n < 0 {
-		return "", nil, fmt.Errorf("%w: bad length", ErrMalformed)
+	n, ok := parseLen(b[:i])
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: bad length", ErrMalformed)
 	}
 	rest := b[i+1:]
 	if len(rest) < n {
-		return "", nil, fmt.Errorf("%w: short string", ErrMalformed)
+		return nil, nil, fmt.Errorf("%w: short string", ErrMalformed)
 	}
-	return string(rest[:n]), rest[n:], nil
+	return rest[:n], rest[n:], nil
 }
+
+// scratchKeepCap bounds how much scratch buffer a connection keeps
+// between messages; a single oversized message (a big SNAPV, say) must
+// not pin its buffer for the connection's lifetime.
+const scratchKeepCap = 64 << 10
 
 // Conn wraps an io.ReadWriter with framed Message I/O. Reads and
 // writes are independently serialized, so one goroutine may read while
 // another writes, and multiple goroutines may send concurrently.
 type Conn struct {
-	rmu sync.Mutex
-	wmu sync.Mutex
-	br  *bufio.Reader
-	w   io.Writer
-	rw  io.ReadWriter
+	rmu  sync.Mutex
+	rbuf []byte // payload scratch, guarded by rmu
+	br   *bufio.Reader
+	w    io.Writer
+	rw   io.ReadWriter
+
+	wmu     sync.Mutex
+	wbuf    []byte // frame scratch / cork accumulator, guarded by wmu
+	corked  int    // Cork depth, guarded by wmu
+	pending int    // messages accumulated while corked, guarded by wmu
 
 	// Optional telemetry, installed by Instrument. Held behind an
 	// atomic pointer — NOT the r/w mutexes — because a reader
@@ -293,28 +457,80 @@ func (c *Conn) Underlying() io.ReadWriter { return c.rw }
 // messages to a raw byte stream (e.g. after a proxy handshake).
 func (c *Conn) Detach() io.Reader { return c.br }
 
-// Send frames and writes one message.
+// Send frames and writes one message. Header and payload go out in a
+// single Write on the underlying stream (one syscall, and on TCP one
+// packet for small messages), encoded into a per-connection scratch
+// buffer so a steady-state Send allocates nothing.
 func (c *Conn) Send(m *Message) error {
-	payload := m.Encode()
-	if len(payload) > MaxFrameSize {
+	size := m.EncodedSize()
+	if size > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return err
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(size))
+	c.wbuf = append(c.wbuf, hdr[:]...)
+	c.wbuf = m.AppendEncode(c.wbuf)
+	c.pending++
+	if c.corked > 0 {
+		return nil
 	}
-	if _, err := c.w.Write(payload); err != nil {
+	return c.flushLocked()
+}
+
+// Cork suspends transmission: subsequent Sends accumulate frames in
+// the connection's write buffer instead of writing them out. Each
+// Cork must be balanced by Uncork, which flushes the accumulated
+// frames in a single Write. Use it for reply bursts (event pushes,
+// pipelined acknowledgements) to pay one syscall for the burst.
+// Cork/Uncork pairs nest.
+func (c *Conn) Cork() {
+	c.wmu.Lock()
+	c.corked++
+	c.wmu.Unlock()
+}
+
+// Uncork ends a Cork section, writing every frame accumulated since
+// the matching Cork (plus any sent under outer Cork levels) in one
+// Write once the outermost section ends.
+func (c *Conn) Uncork() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.corked == 0 {
+		return nil
+	}
+	c.corked--
+	if c.corked > 0 {
+		return nil
+	}
+	return c.flushLocked()
+}
+
+// flushLocked writes the accumulated frames and resets the scratch
+// buffer. Callers hold wmu.
+func (c *Conn) flushLocked() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	n := len(c.wbuf)
+	msgs := c.pending
+	_, err := c.w.Write(c.wbuf)
+	if cap(c.wbuf) > scratchKeepCap {
+		c.wbuf = nil
+	} else {
+		c.wbuf = c.wbuf[:0]
+	}
+	c.pending = 0
+	if err != nil {
 		return err
 	}
 	if m := c.metrics.Load(); m != nil {
 		if m.txBytes != nil {
-			m.txBytes.Add(int64(len(hdr) + len(payload)))
+			m.txBytes.Add(int64(n))
 		}
 		if m.txMsgs != nil {
-			m.txMsgs.Inc()
+			m.txMsgs.Add(int64(msgs))
 		}
 	}
 	return nil
@@ -323,29 +539,50 @@ func (c *Conn) Send(m *Message) error {
 // Recv reads and decodes one message, blocking until a full frame
 // arrives or the stream errors.
 func (c *Conn) Recv() (*Message, error) {
+	m := new(Message)
+	if err := c.RecvInto(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RecvInto reads one message into m, reusing m's field map and the
+// connection's internal payload buffer. It is the receive half of the
+// zero-allocation hot path: a caller that owns its Message (a server
+// request loop dispatching synchronously) avoids the per-message
+// Message and map allocations of Recv. The decoded message shares no
+// memory with the connection's buffers.
+func (c *Conn) RecvInto(m *Message) error {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return nil, err
+		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > MaxFrameSize {
-		return nil, ErrFrameTooLarge
+		return ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	if cap(c.rbuf) < n {
+		c.rbuf = make([]byte, n)
+	}
+	payload := c.rbuf[:n]
 	if _, err := io.ReadFull(c.br, payload); err != nil {
-		return nil, err
+		return err
 	}
-	if m := c.metrics.Load(); m != nil {
-		if m.rxBytes != nil {
-			m.rxBytes.Add(int64(len(hdr)) + int64(n))
+	if cm := c.metrics.Load(); cm != nil {
+		if cm.rxBytes != nil {
+			cm.rxBytes.Add(int64(len(hdr)) + int64(n))
 		}
-		if m.rxMsgs != nil {
-			m.rxMsgs.Inc()
+		if cm.rxMsgs != nil {
+			cm.rxMsgs.Inc()
 		}
 	}
-	return Decode(payload)
+	err := DecodeInto(m, payload)
+	if cap(c.rbuf) > scratchKeepCap {
+		c.rbuf = nil
+	}
+	return err
 }
 
 // Close closes the underlying stream when it is an io.Closer.

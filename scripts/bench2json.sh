@@ -1,0 +1,37 @@
+#!/bin/sh
+# Convert `go test -bench -benchmem` output (stdin) into the
+# BENCH_attrspace.json layout: one benchmark entry per line, so
+# benchdiff.sh can parse it back with awk alone — no jq in the image.
+awk '
+/^(goos|goarch|cpu):/ {
+	key = $1
+	sub(/:$/, "", key)
+	val = $0
+	sub(/^[a-z]+: */, "", val)
+	meta[key] = val
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "B/op") bytes = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	entry = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+	if (bytes != "") entry = entry sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") entry = entry sprintf(", \"allocs_per_op\": %s", allocs)
+	entry = entry "}"
+	entries[n++] = entry
+}
+END {
+	printf "{\n"
+	printf "  \"goos\": \"%s\",\n", meta["goos"]
+	printf "  \"goarch\": \"%s\",\n", meta["goarch"]
+	printf "  \"cpu\": \"%s\",\n", meta["cpu"]
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}'

@@ -1,0 +1,42 @@
+#!/bin/sh
+# benchdiff.sh BASELINE.json CURRENT.json
+#
+# Compare two BENCH_attrspace.json files (as produced by bench2json.sh)
+# and exit 1 when any benchmark's ns/op regressed by more than
+# THRESHOLD percent (default 20) against the committed baseline.
+# Benchmarks present on only one side are reported but never fail the
+# run — adding a benchmark must not break CI.
+set -eu
+baseline=${1:?usage: benchdiff.sh baseline.json current.json}
+current=${2:?usage: benchdiff.sh baseline.json current.json}
+: "${THRESHOLD:=20}"
+
+awk -v thr="$THRESHOLD" '
+FNR == 1 { file++ }
+match($0, /"name": "[^"]+"/) {
+	name = substr($0, RSTART + 9, RLENGTH - 10)
+	if (match($0, /"ns_per_op": [0-9.eE+-]+/)) {
+		ns = substr($0, RSTART + 13, RLENGTH - 13) + 0
+		if (file == 1) base[name] = ns
+		else { cur[name] = ns; order[m++] = name }
+	}
+}
+END {
+	bad = 0
+	for (i = 0; i < m; i++) {
+		name = order[i]
+		if (!(name in base)) {
+			printf "new        %-48s %14.1f ns/op\n", name, cur[name]
+			continue
+		}
+		delta = (cur[name] - base[name]) / base[name] * 100
+		flag = "ok"
+		if (delta > thr) { flag = "REGRESSION"; bad = 1 }
+		printf "%-10s %-48s %12.1f -> %10.1f ns/op (%+6.1f%%)\n", \
+			flag, name, base[name], cur[name], delta
+	}
+	for (name in base) if (!(name in cur))
+		printf "missing    %-48s (in baseline only)\n", name
+	if (bad) printf "\nFAIL: ns/op regression beyond %s%% against baseline\n", thr
+	exit bad
+}' "$baseline" "$current"

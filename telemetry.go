@@ -65,18 +65,23 @@ func (h *Handle) StartMonitorPublisher(interval time.Duration) (stop func()) {
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
+			// One batched put per tick: the whole snapshot crosses the
+			// wire as a single MPUT instead of one round trip per metric.
 			snap := reg.Snapshot()
+			pairs := make([]KV, 0, len(snap.Counters)+len(snap.Gauges)+3*len(snap.Histograms))
 			for name, v := range snap.Counters {
-				h.lass.Put(prefix+name, strconv.FormatInt(v, 10))
+				pairs = append(pairs, KV{Key: prefix + name, Value: strconv.FormatInt(v, 10)})
 			}
 			for name, v := range snap.Gauges {
-				h.lass.Put(prefix+name, strconv.FormatInt(v, 10))
+				pairs = append(pairs, KV{Key: prefix + name, Value: strconv.FormatInt(v, 10)})
 			}
 			for name, hs := range snap.Histograms {
-				h.lass.Put(prefix+name+".count", strconv.FormatInt(hs.Count, 10))
-				h.lass.Put(prefix+name+".p50", strconv.FormatFloat(hs.Quantile(0.50), 'g', -1, 64))
-				h.lass.Put(prefix+name+".p99", strconv.FormatFloat(hs.Quantile(0.99), 'g', -1, 64))
+				pairs = append(pairs,
+					KV{Key: prefix + name + ".count", Value: strconv.FormatInt(hs.Count, 10)},
+					KV{Key: prefix + name + ".p50", Value: strconv.FormatFloat(hs.Quantile(0.50), 'g', -1, 64)},
+					KV{Key: prefix + name + ".p99", Value: strconv.FormatFloat(hs.Quantile(0.99), 'g', -1, 64)})
 			}
+			h.lass.PutBatch(pairs)
 			select {
 			case <-done:
 				return
