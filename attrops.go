@@ -53,9 +53,11 @@ func (h *Handle) PutBatchCtx(ctx context.Context, pairs []KV) error {
 	return h.lass.PutBatchCtx(ctx, pairs)
 }
 
-// PutBatchGlobal is PutBatch against the central space (CASS).
+// PutBatchGlobal is PutBatch against the global space. With a direct
+// CASS connection it is one MPUT to the CASS; with GlobalViaLASS it is
+// one GMPUT relayed (and cached) by the LASS.
 func (h *Handle) PutBatchGlobal(pairs []KV) error {
-	if h.cass == nil {
+	if h.cass == nil && !h.cfg.GlobalViaLASS {
 		return ErrNoCASS
 	}
 	defer h.observe("put_batch_global")()
@@ -63,6 +65,9 @@ func (h *Handle) PutBatchGlobal(pairs []KV) error {
 		for _, p := range pairs {
 			h.traceStep("tdp_put_global", p.Key+"="+p.Value)
 		}
+	}
+	if h.cfg.GlobalViaLASS {
+		return h.lass.PutBatchGlobal(context.Background(), pairs)
 	}
 	return h.cass.PutBatch(pairs)
 }
@@ -95,7 +100,8 @@ func (h *Handle) Snapshot() (map[string]string, error) {
 	return h.lass.Snapshot()
 }
 
-// PutGlobal stores attribute = value in the central space (CASS).
+// PutGlobal stores attribute = value in the global space (directly on
+// the CASS, or write-through the caching LASS with GlobalViaLASS).
 func (h *Handle) PutGlobal(attribute, value string) error {
 	return h.PutGlobalCtx(context.Background(), attribute, value)
 }
@@ -103,32 +109,44 @@ func (h *Handle) PutGlobal(attribute, value string) error {
 // PutGlobalCtx is PutGlobal with a context for cancellation and span
 // propagation.
 func (h *Handle) PutGlobalCtx(ctx context.Context, attribute, value string) error {
-	if h.cass == nil {
+	if h.cass == nil && !h.cfg.GlobalViaLASS {
 		return ErrNoCASS
 	}
 	defer h.observe("put_global")()
 	h.traceStep("tdp_put_global", attribute+"="+value)
+	if h.cfg.GlobalViaLASS {
+		return h.lass.PutGlobal(ctx, attribute, value)
+	}
 	return h.cass.PutCtx(ctx, attribute, value)
 }
 
-// GetGlobal blocks until the attribute exists in the central space.
+// GetGlobal blocks until the attribute exists in the global space.
+// With GlobalViaLASS a cached attribute is answered by the LASS in one
+// local hop; only misses travel to the CASS.
 func (h *Handle) GetGlobal(ctx context.Context, attribute string) (string, error) {
-	if h.cass == nil {
+	if h.cass == nil && !h.cfg.GlobalViaLASS {
 		return "", ErrNoCASS
 	}
 	defer h.observe("get_global")()
 	h.traceStep("tdp_get_global", attribute)
+	if h.cfg.GlobalViaLASS {
+		return h.lass.GetGlobal(ctx, attribute)
+	}
 	return h.cass.Get(ctx, attribute)
 }
 
-// TryGetGlobal is the non-blocking central space lookup.
+// TryGetGlobal is the non-blocking global space lookup.
 func (h *Handle) TryGetGlobal(attribute string) (string, error) {
-	if h.cass == nil {
+	if h.cass == nil && !h.cfg.GlobalViaLASS {
 		return "", ErrNoCASS
 	}
 	defer h.observe("tryget_global")()
+	if h.cfg.GlobalViaLASS {
+		return h.lass.TryGetGlobal(context.Background(), attribute)
+	}
 	return h.cass.TryGet(attribute)
 }
 
-// HasGlobal reports whether this handle is connected to a CASS.
-func (h *Handle) HasGlobal() bool { return h.cass != nil }
+// HasGlobal reports whether this handle can reach a global space —
+// through its own CASS connection or a caching LASS.
+func (h *Handle) HasGlobal() bool { return h.cass != nil || h.cfg.GlobalViaLASS }

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	cassd [-addr host:port] [-loglevel debug|info|error|silent]
-//	      [-monitor 5s] [-monitor-context name]
+//	      [-monitor 5s] [-monitor-context name] [-event-buffer n]
 package main
 
 import (
@@ -28,11 +28,13 @@ func main() {
 	logLevel := flag.String("loglevel", "error", "log verbosity: debug|info|error|silent")
 	monitor := flag.Duration("monitor", 0, "self-publish metrics as tdp.monitor.cass.* at this interval (0 disables)")
 	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
+	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size; a CASS fanning out to many caching LASSes wants this large")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
 	srv.SetLogger(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "cassd"))
 	srv.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("cassd"))
+	srv.SetEventBuffer(*eventBuf)
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		log.Fatalf("cassd: %v", err)

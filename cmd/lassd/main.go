@@ -6,10 +6,19 @@
 // (inspect it live with `tdpattr stats`), and -monitor makes it
 // self-publish metrics as tdp.monitor.lass.* attributes.
 //
+// With -cass the LASS also serves the G* global-forwarding verbs: it
+// relays global operations to the CASS at that address through a
+// read-through cache invalidated by its own CASS subscription, so
+// steady-state global gets by local daemons cost one local hop.
+// -cache-max bounds cached entries per context; -event-buffer sizes
+// the per-subscriber fan-out ring (larger absorbs bigger bursts before
+// the coalesce/drop overflow policy engages).
+//
 // Usage:
 //
 //	lassd [-addr host:port] [-loglevel debug|info|error|silent]
 //	      [-monitor 5s] [-monitor-context name]
+//	      [-cass host:port] [-cache-max n] [-event-buffer n]
 package main
 
 import (
@@ -27,11 +36,19 @@ func main() {
 	logLevel := flag.String("loglevel", "error", "log verbosity: debug|info|error|silent")
 	monitor := flag.Duration("monitor", 0, "self-publish metrics as tdp.monitor.lass.* at this interval (0 disables)")
 	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
+	cassAddr := flag.String("cass", "", "upstream CASS address; enables the G* global verbs with a subscription-invalidated read cache")
+	cacheMax := flag.Int("cache-max", 0, "max cached global entries per context (0 = default 4096)")
+	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
 	srv.SetLogger(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "lassd"))
 	srv.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("lassd"))
+	srv.SetEventBuffer(*eventBuf)
+	if *cassAddr != "" {
+		srv.EnableGlobalCache(*cassAddr, attrspace.CacheConfig{MaxEntries: *cacheMax})
+		log.Printf("lassd: global forwarding to CASS %s enabled", *cassAddr)
+	}
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		log.Fatalf("lassd: %v", err)

@@ -12,6 +12,29 @@
 // This package is the in-memory engine behind both the LASS and CASS
 // servers (package attrspace) and the in-process fast path used by the
 // public tdp package.
+//
+// # Concurrency model
+//
+// The store is sharded: contexts are spread over a fixed array of
+// shards by a hash of the context name, and each shard carries its own
+// sync.RWMutex. Operations in different contexts therefore contend
+// only when the contexts hash to the same shard (1/64 by default);
+// read-only operations (TryGet, Snapshot, Len) take the shard lock
+// shared. Per-context ordering is preserved: every mutation of a
+// context holds its shard lock exclusively, so the context's Seq
+// counter still totally orders its updates.
+//
+// Subscriber delivery is asynchronous. A Put appends the Update to
+// each subscription's bounded ring buffer while it holds the shard
+// lock (an O(1) slice write), and a per-subscription delivery
+// goroutine drains the ring onto the subscriber's channel. Publishers
+// therefore never block on slow subscribers and never perform channel
+// operations inside the store's critical section. When a ring
+// overflows, updates for the same attribute coalesce to the latest
+// value; if nothing coalesces, the oldest update is dropped and
+// counted (Subscription.Lost) — OpDestroy is never dropped. Blocked
+// Gets are woken outside the lock through buffered channels, exactly
+// one value each.
 package attr
 
 import (
@@ -67,26 +90,79 @@ type Update struct {
 	Seq     uint64 // per-context modification sequence number
 }
 
+// entry is one stored attribute: its value and the context sequence
+// number of the write that produced it. The per-entry version is what
+// lets a downstream cache (the LASS read-through cache for CASS
+// attributes) order fills against invalidation events.
+type entry struct {
+	value string
+	seq   uint64
+}
+
 // spaceContext is one named attribute space.
 type spaceContext struct {
 	name    string
+	sh      *shard // owning shard; its mutex guards every field below
 	refs    int
-	attrs   map[string]string
+	attrs   map[string]entry
 	seq     uint64
-	waiters map[string][]chan string // blocked Gets per attribute
+	waiters map[string][]chan Update // blocked Gets per attribute
 	subs    map[*Subscription]struct{}
 }
+
+// shard is one lock domain of the sharded context map.
+type shard struct {
+	mu       sync.RWMutex
+	contexts map[string]*spaceContext
+}
+
+// DefaultShards is the shard count NewSpace uses. 64 shards keep the
+// per-shard collision probability low for realistic pool sizes
+// (hundreds of live job contexts) at a fixed, small footprint.
+const DefaultShards = 64
 
 // Space holds every context. A single Space instance backs one
 // attribute space server (one LASS or the CASS).
 type Space struct {
-	mu       sync.Mutex
-	contexts map[string]*spaceContext
+	shards []shard
+	mask   uint32
 }
 
-// NewSpace returns an empty attribute space.
+// NewSpace returns an empty attribute space with DefaultShards shards.
 func NewSpace() *Space {
-	return &Space{contexts: make(map[string]*spaceContext)}
+	return NewSpaceShards(DefaultShards)
+}
+
+// NewSpaceShards returns an empty attribute space with n shards
+// (rounded up to a power of two, minimum 1). n = 1 degenerates to a
+// single global lock — useful only as a benchmark baseline.
+func NewSpaceShards(n int) *Space {
+	if n < 1 {
+		n = 1
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Space{shards: make([]shard, size), mask: uint32(size - 1)}
+	for i := range s.shards {
+		s.shards[i].contexts = make(map[string]*spaceContext)
+	}
+	return s
+}
+
+// shardFor picks the shard owning a context name (FNV-1a).
+func (s *Space) shardFor(name string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return &s.shards[h&s.mask]
 }
 
 // Join enters the named context, creating it if needed, and returns a
@@ -94,17 +170,19 @@ func NewSpace() *Space {
 // context and all its attributes are destroyed when the last reference
 // leaves, mirroring tdp_exit semantics.
 func (s *Space) Join(name string) *Ref {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c := s.contexts[name]
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.contexts[name]
 	if c == nil {
 		c = &spaceContext{
 			name:    name,
-			attrs:   make(map[string]string),
-			waiters: make(map[string][]chan string),
+			sh:      sh,
+			attrs:   make(map[string]entry),
+			waiters: make(map[string][]chan Update),
 			subs:    make(map[*Subscription]struct{}),
 		}
-		s.contexts[name] = c
+		sh.contexts[name] = c
 	}
 	c.refs++
 	return &Ref{space: s, ctx: c}
@@ -112,11 +190,14 @@ func (s *Space) Join(name string) *Ref {
 
 // Contexts returns the names of live contexts, sorted.
 func (s *Space) Contexts() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.contexts))
-	for n := range s.contexts {
-		names = append(names, n)
+	var names []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for n := range sh.contexts {
+			names = append(names, n)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(names)
 	return names
@@ -125,9 +206,10 @@ func (s *Space) Contexts() []string {
 // Refs reports the current reference count of a context, or 0 when the
 // context does not exist.
 func (s *Space) Refs(name string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c := s.contexts[name]; c != nil {
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if c := sh.contexts[name]; c != nil {
 		return c.refs
 	}
 	return 0
@@ -164,27 +246,33 @@ func (r *Ref) live() (*spaceContext, error) {
 // subscribers. Matching the paper's blocking tdp_put, Put returns only
 // once the value is visible in the space.
 func (r *Ref) Put(attribute, value string) error {
+	_, err := r.PutSeq(attribute, value)
+	return err
+}
+
+// PutSeq is Put returning the context sequence number assigned to the
+// write. The LASS→CASS cache uses it to version cache fills.
+func (r *Ref) PutSeq(attribute, value string) (uint64, error) {
 	c, err := r.live()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	s := r.space
-	s.mu.Lock()
+	sh := c.sh
+	sh.mu.Lock()
 	c.seq++
-	c.attrs[attribute] = value
+	c.attrs[attribute] = entry{value: value, seq: c.seq}
 	u := Update{Context: c.name, Attr: attribute, Value: value, Op: OpPut, Seq: c.seq}
 	waiters := c.waiters[attribute]
 	delete(c.waiters, attribute)
-	subs := subscribers(c)
-	s.mu.Unlock()
+	for sub := range c.subs {
+		sub.enqueue(u) // O(1) ring append; never blocks
+	}
+	sh.mu.Unlock()
 
 	for _, w := range waiters {
-		w <- value // buffered, never blocks
+		w <- u // buffered, never blocks
 	}
-	for _, sub := range subs {
-		sub.deliver(u)
-	}
-	return nil
+	return u.Seq, nil
 }
 
 // KV is one attribute/value pair in a batched put.
@@ -200,85 +288,114 @@ type KV struct {
 // daemon publishing its startup attributes pays one lock round and one
 // wakeup sweep instead of N.
 func (r *Ref) PutBatch(pairs []KV) error {
+	_, err := r.PutBatchSeq(pairs)
+	return err
+}
+
+// PutBatchSeq is PutBatch returning the sequence number of the last
+// pair's write (pair i received seq last-len+i+1). Zero pairs return
+// seq 0.
+func (r *Ref) PutBatchSeq(pairs []KV) (uint64, error) {
 	if len(pairs) == 0 {
-		return nil
+		return 0, nil
 	}
 	c, err := r.live()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	s := r.space
+	sh := c.sh
 	type wake struct {
-		chans []chan string
-		value string
+		chans []chan Update
+		u     Update
 	}
 	var wakes []wake
-	updates := make([]Update, 0, len(pairs))
-	s.mu.Lock()
+	sh.mu.Lock()
 	for _, p := range pairs {
 		c.seq++
-		c.attrs[p.Key] = p.Value
-		updates = append(updates, Update{Context: c.name, Attr: p.Key, Value: p.Value, Op: OpPut, Seq: c.seq})
+		c.attrs[p.Key] = entry{value: p.Value, seq: c.seq}
+		u := Update{Context: c.name, Attr: p.Key, Value: p.Value, Op: OpPut, Seq: c.seq}
 		if ws := c.waiters[p.Key]; len(ws) > 0 {
-			wakes = append(wakes, wake{chans: ws, value: p.Value})
+			wakes = append(wakes, wake{chans: ws, u: u})
 			delete(c.waiters, p.Key)
 		}
+		for sub := range c.subs {
+			sub.enqueue(u)
+		}
 	}
-	subs := subscribers(c)
-	s.mu.Unlock()
+	last := c.seq
+	sh.mu.Unlock()
 
 	for _, w := range wakes {
 		for _, ch := range w.chans {
-			ch <- w.value // buffered, never blocks
+			ch <- w.u // buffered, never blocks
 		}
 	}
-	for _, u := range updates {
-		for _, sub := range subs {
-			sub.deliver(u)
-		}
-	}
-	return nil
+	return last, nil
 }
 
 // TryGet returns the current value without blocking. It returns
 // ErrNotFound when the attribute is absent.
 func (r *Ref) TryGet(attribute string) (string, error) {
+	v, _, err := r.TryGetSeq(attribute)
+	return v, err
+}
+
+// TryGetSeq is TryGet additionally returning the sequence number of
+// the write that produced the value.
+func (r *Ref) TryGetSeq(attribute string) (string, uint64, error) {
 	c, err := r.live()
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
-	r.space.mu.Lock()
-	defer r.space.mu.Unlock()
-	v, ok := c.attrs[attribute]
+	sh := c.sh
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := c.attrs[attribute]
 	if !ok {
-		return "", ErrNotFound
+		return "", 0, ErrNotFound
 	}
-	return v, nil
+	return e.value, e.seq, nil
 }
 
 // Get blocks until the attribute is present (or ctx is done) and
 // returns its value. This is the paper's blocking tdp_get: paradynd
 // blocks on "pid" until the starter puts it.
 func (r *Ref) Get(ctx context.Context, attribute string) (string, error) {
+	v, _, err := r.GetSeq(ctx, attribute)
+	return v, err
+}
+
+// GetSeq is Get additionally returning the sequence number of the
+// write that produced the value.
+func (r *Ref) GetSeq(ctx context.Context, attribute string) (string, uint64, error) {
 	c, err := r.live()
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
-	s := r.space
-	s.mu.Lock()
-	if v, ok := c.attrs[attribute]; ok {
-		s.mu.Unlock()
-		return v, nil
+	sh := c.sh
+	// Fast path: present already — shared lock only.
+	sh.mu.RLock()
+	if e, ok := c.attrs[attribute]; ok {
+		sh.mu.RUnlock()
+		return e.value, e.seq, nil
 	}
-	wait := make(chan string, 1)
+	sh.mu.RUnlock()
+
+	sh.mu.Lock()
+	// Re-check: a Put may have landed between the two locks.
+	if e, ok := c.attrs[attribute]; ok {
+		sh.mu.Unlock()
+		return e.value, e.seq, nil
+	}
+	wait := make(chan Update, 1)
 	c.waiters[attribute] = append(c.waiters[attribute], wait)
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	select {
-	case v := <-wait:
-		return v, nil
+	case u := <-wait:
+		return u.Value, u.Seq, nil
 	case <-ctx.Done():
-		s.mu.Lock()
+		sh.mu.Lock()
 		// Remove our waiter unless Put already consumed it.
 		ws := c.waiters[attribute]
 		for i, w := range ws {
@@ -290,39 +407,45 @@ func (r *Ref) Get(ctx context.Context, attribute string) (string, error) {
 		if len(c.waiters[attribute]) == 0 {
 			delete(c.waiters, attribute)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		// A Put may have raced with cancellation; prefer the value.
 		select {
-		case v := <-wait:
-			return v, nil
+		case u := <-wait:
+			return u.Value, u.Seq, nil
 		default:
 		}
-		return "", ctx.Err()
+		return "", 0, ctx.Err()
 	}
 }
 
 // Delete removes an attribute. Deleting an absent attribute is a no-op.
 func (r *Ref) Delete(attribute string) error {
+	_, err := r.DeleteSeq(attribute)
+	return err
+}
+
+// DeleteSeq is Delete returning the sequence number assigned to the
+// deletion; a no-op delete of an absent attribute returns 0.
+func (r *Ref) DeleteSeq(attribute string) (uint64, error) {
 	c, err := r.live()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	s := r.space
-	s.mu.Lock()
+	sh := c.sh
+	sh.mu.Lock()
 	prev, ok := c.attrs[attribute]
 	if !ok {
-		s.mu.Unlock()
-		return nil
+		sh.mu.Unlock()
+		return 0, nil
 	}
 	c.seq++
 	delete(c.attrs, attribute)
-	u := Update{Context: c.name, Attr: attribute, Value: prev, Op: OpDelete, Seq: c.seq}
-	subs := subscribers(c)
-	s.mu.Unlock()
-	for _, sub := range subs {
-		sub.deliver(u)
+	u := Update{Context: c.name, Attr: attribute, Value: prev.value, Op: OpDelete, Seq: c.seq}
+	for sub := range c.subs {
+		sub.enqueue(u)
 	}
-	return nil
+	sh.mu.Unlock()
+	return u.Seq, nil
 }
 
 // Snapshot returns a copy of every attribute in the context.
@@ -331,11 +454,12 @@ func (r *Ref) Snapshot() (map[string]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.space.mu.Lock()
-	defer r.space.mu.Unlock()
+	sh := c.sh
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	out := make(map[string]string, len(c.attrs))
-	for k, v := range c.attrs {
-		out[k] = v
+	for k, e := range c.attrs {
+		out[k] = e.value
 	}
 	return out, nil
 }
@@ -346,8 +470,9 @@ func (r *Ref) Len() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	r.space.mu.Lock()
-	defer r.space.mu.Unlock()
+	sh := c.sh
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	return len(c.attrs), nil
 }
 
@@ -364,74 +489,196 @@ func (r *Ref) Leave() error {
 	if c == nil {
 		return ErrClosed
 	}
-	s := r.space
-	s.mu.Lock()
+	sh := c.sh
+	sh.mu.Lock()
 	c.refs--
 	if c.refs > 0 {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	delete(s.contexts, c.name)
+	delete(sh.contexts, c.name)
 	c.seq++
 	u := Update{Context: c.name, Op: OpDestroy, Seq: c.seq}
-	subs := subscribers(c)
-	c.subs = make(map[*Subscription]struct{})
-	c.waiters = make(map[string][]chan string)
-	s.mu.Unlock()
-	for _, sub := range subs {
-		sub.deliver(u)
-		sub.close()
+	for sub := range c.subs {
+		sub.enqueue(u)
+		sub.finish()
 	}
+	c.subs = make(map[*Subscription]struct{})
+	c.waiters = make(map[string][]chan Update)
+	sh.mu.Unlock()
 	return nil
 }
 
-// Subscription delivers Updates for a context. Updates are buffered;
-// a subscriber that falls behind beyond its buffer loses the oldest
-// undelivered update rather than blocking publishers (size the buffer
-// for the expected burst — attribute traffic in TDP is low-rate
-// configuration exchange).
+// Subscription delivers Updates for a context through a bounded ring
+// buffer drained by a dedicated delivery goroutine, so publishers
+// never block on (or even perform channel operations for) a slow
+// subscriber.
+//
+// Overflow policy, in order:
+//  1. An update whose attribute already has a queued update replaces
+//     it in place (coalesce-to-latest — the subscriber still observes
+//     the final value of every attribute, though intermediate values
+//     and cross-attribute interleaving may be elided; Coalesced
+//     counts these).
+//  2. Otherwise the oldest queued update is dropped (Lost counts
+//     these). A consumer that needs to detect elision — a cache that
+//     must invalidate what it missed — watches Lost.
+//  3. OpDestroy is never coalesced away or dropped.
+//
+// The consumer must drain Updates until the channel closes, or call
+// Unsubscribe; an abandoned, undrained subscription pins its delivery
+// goroutine.
 type Subscription struct {
-	mu     sync.Mutex
-	ch     chan Update
-	closed bool
+	ch   chan Update
+	wake chan struct{} // cap 1: "queue non-empty or done changed"
+	stop chan struct{} // closed by Unsubscribe: abort delivery
+
+	mu       sync.Mutex
+	queue    []Update
+	idx      map[string]int // attr -> absolute index of newest queued update
+	base     int            // absolute index of queue[0]
+	limit    int
+	done     bool // no further enqueues; delivery closes ch once drained
+	lost     uint64
+	coal     uint64
+	stopOnce sync.Once
 }
 
 // Updates returns the channel on which updates arrive. The channel is
 // closed when the subscription is cancelled or the context destroyed.
 func (s *Subscription) Updates() <-chan Update { return s.ch }
 
-func (s *Subscription) deliver(u Update) {
+// Depth reports the number of updates currently queued (excluding any
+// buffered in the delivery channel).
+func (s *Subscription) Depth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	return len(s.queue)
+}
+
+// Lost reports the cumulative count of updates dropped on ring
+// overflow (coalesced updates are not lost; see Coalesced).
+func (s *Subscription) Lost() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lost
+}
+
+// Coalesced reports the cumulative count of updates that replaced an
+// older queued update for the same attribute on ring overflow.
+func (s *Subscription) Coalesced() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coal
+}
+
+// enqueue adds an update to the ring. Called with the owning shard's
+// lock held, so it must stay O(1) and non-blocking.
+func (s *Subscription) enqueue(u Update) {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
 		return
 	}
+	if len(s.queue) >= s.limit && u.Op != OpDestroy {
+		// Coalesce to latest for the same attribute.
+		if abs, ok := s.idx[u.Attr]; ok && abs >= s.base {
+			if q := &s.queue[abs-s.base]; q.Op != OpDestroy {
+				*q = u
+				s.coal++
+				s.mu.Unlock()
+				s.signal()
+				return
+			}
+		}
+		// Nothing to coalesce: drop the oldest non-destroy update.
+		for i := range s.queue {
+			if s.queue[i].Op != OpDestroy {
+				if s.idx[s.queue[i].Attr] == s.base+i {
+					delete(s.idx, s.queue[i].Attr)
+				}
+				copy(s.queue[i:], s.queue[i+1:])
+				s.queue = s.queue[:len(s.queue)-1]
+				s.lost++
+				break
+			}
+		}
+		// Indexes after the removed slot shifted down by one; rather
+		// than rewrite the map (O(n)), rebase: entries are validated
+		// against the queue on use, so a slightly stale index only
+		// costs a missed coalesce, never a wrong one — except that a
+		// stale index could now point at a different attr's slot.
+		// Rebuild to stay exact; the ring is small and overflow is the
+		// rare path.
+		for i := range s.queue {
+			s.idx[s.queue[i].Attr] = s.base + i
+		}
+	}
+	s.queue = append(s.queue, u)
+	if u.Op != OpDestroy {
+		s.idx[u.Attr] = s.base + len(s.queue) - 1
+	}
+	s.mu.Unlock()
+	s.signal()
+}
+
+func (s *Subscription) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// finish marks the subscription complete: no more enqueues; the
+// delivery goroutine closes the channel once the ring drains.
+func (s *Subscription) finish() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	s.signal()
+}
+
+// run is the delivery goroutine: it drains the ring in batches onto
+// the subscriber channel and closes the channel on completion.
+func (s *Subscription) run() {
+	var batch []Update
 	for {
-		select {
-		case s.ch <- u:
-			return
-		default:
-			// Buffer full: drop the oldest update to stay live.
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			done := s.done
+			s.mu.Unlock()
+			if done {
+				close(s.ch)
+				return
+			}
 			select {
-			case <-s.ch:
-			default:
+			case <-s.wake:
+				continue
+			case <-s.stop:
+				close(s.ch)
+				return
+			}
+		}
+		// Swap the queue out; publishers keep appending to a fresh one.
+		batch, s.queue = s.queue, batch[:0]
+		s.base += len(batch)
+		clear(s.idx)
+		s.mu.Unlock()
+		for i := range batch {
+			select {
+			case s.ch <- batch[i]:
+			case <-s.stop:
+				close(s.ch)
+				return
 			}
 		}
 	}
 }
 
-func (s *Subscription) close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
-	s.closed = true
-	close(s.ch)
-}
-
 // Subscribe registers for all subsequent updates in the context. The
-// buffer argument sizes the delivery channel (minimum 1).
+// buffer argument sizes both the ring buffer and the delivery channel
+// (minimum 1); size it for the expected burst — on overflow the ring
+// coalesces per attribute and then drops oldest (see Subscription).
 func (r *Ref) Subscribe(buffer int) (*Subscription, error) {
 	c, err := r.live()
 	if err != nil {
@@ -440,30 +687,45 @@ func (r *Ref) Subscribe(buffer int) (*Subscription, error) {
 	if buffer < 1 {
 		buffer = 1
 	}
-	sub := &Subscription{ch: make(chan Update, buffer)}
-	r.space.mu.Lock()
+	sub := &Subscription{
+		ch:    make(chan Update, buffer),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		idx:   make(map[string]int),
+		limit: buffer,
+	}
+	sh := c.sh
+	sh.mu.Lock()
+	if r.isClosed() || c.refs == 0 {
+		sh.mu.Unlock()
+		return nil, ErrClosed
+	}
 	c.subs[sub] = struct{}{}
-	r.space.mu.Unlock()
+	sh.mu.Unlock()
+	go sub.run()
 	return sub, nil
 }
 
-// Unsubscribe cancels a subscription and closes its channel.
+func (r *Ref) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctx == nil
+}
+
+// Unsubscribe cancels a subscription and closes its channel. Updates
+// still queued at cancellation are discarded.
 func (r *Ref) Unsubscribe(sub *Subscription) {
 	r.mu.Lock()
 	c := r.ctx
 	r.mu.Unlock()
 	if c != nil {
-		r.space.mu.Lock()
+		sh := c.sh
+		sh.mu.Lock()
 		delete(c.subs, sub)
-		r.space.mu.Unlock()
+		sh.mu.Unlock()
 	}
-	sub.close()
-}
-
-func subscribers(c *spaceContext) []*Subscription {
-	out := make([]*Subscription, 0, len(c.subs))
-	for s := range c.subs {
-		out = append(out, s)
-	}
-	return out
+	sub.mu.Lock()
+	sub.done = true
+	sub.mu.Unlock()
+	sub.stopOnce.Do(func() { close(sub.stop) })
 }

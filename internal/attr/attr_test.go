@@ -117,10 +117,11 @@ func TestGetCancelRemovesWaiter(t *testing.T) {
 	// After cancellation the waiter list must be empty; a Put must not
 	// try to deliver to the dead waiter (it would be harmless — buffered —
 	// but the map should be cleaned).
-	s.mu.Lock()
-	c := s.contexts["c"]
+	sh := s.shardFor("c")
+	sh.mu.Lock()
+	c := sh.contexts["c"]
 	n := len(c.waiters["x"])
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if n != 0 {
 		t.Errorf("waiter list has %d entries after cancel, want 0", n)
 	}

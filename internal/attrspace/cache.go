@@ -1,0 +1,451 @@
+package attrspace
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"tdp/internal/attr"
+)
+
+// GlobalCache is the LASS side of the G* global-forwarding verbs: a
+// read-through, subscription-invalidated cache of CASS attributes.
+//
+// The paper's LASS/CASS split (§3.2) puts one attribute space server
+// on every execution host and one next to the tool front-end; a
+// global tdp_get therefore pays a front-end round trip on every call.
+// The cache exploits the split for locality instead: the first global
+// get for a context opens one upstream connection from the LASS to the
+// CASS, joins the context, and subscribes to its events. From then on
+//
+//   - reads hit the local entry map when it holds the attribute
+//     (live or deleted) and otherwise fill it from one upstream round
+//     trip, versioned by the CASS-assigned per-context seq;
+//   - upstream EVENTs update or tombstone entries (compare-by-seq, so
+//     a late fill can never overwrite a newer event and a late event
+//     never regresses a newer fill);
+//   - writes (GPUT/GMPUT/GDEL) go through to the CASS and apply to the
+//     cache with the acked seq before the client sees OK, giving
+//     read-your-writes to every client of the same LASS;
+//   - an EVENT carrying lost=<d> (the server's fan-out ring dropped
+//     updates for us) flushes the context's entries — the cache never
+//     trusts a picture with a gap;
+//   - an upstream OpDestroy or connection failure tears the context's
+//     cache down entirely; the next global op re-dials.
+//
+// Entries per context are bounded (MaxEntries); beyond the bound an
+// arbitrary entry is evicted, which only costs a future miss. A
+// background sweep drops cache contexts whose local context has no
+// participants left, so the cache's upstream reference does not pin a
+// CASS context forever after everyone exited.
+type GlobalCache struct {
+	srv  *Server // telemetry + local space (idle sweep)
+	addr string
+	dial DialFunc
+	max  int
+
+	mu     sync.Mutex
+	ctxs   map[string]*cacheCtx
+	closed bool
+	stop   chan struct{}
+}
+
+// CacheConfig tunes EnableGlobalCache.
+type CacheConfig struct {
+	// Dial opens upstream connections to the CASS; nil means TCPDial.
+	Dial DialFunc
+	// MaxEntries bounds cached entries per context; 0 means 4096.
+	MaxEntries int
+	// SweepInterval is how often idle contexts (no local participants)
+	// are dropped; 0 means 5s, negative disables the sweep.
+	SweepInterval time.Duration
+}
+
+// EnableGlobalCache turns this server into a caching LASS: the G*
+// verbs forward to the CASS at cassAddr through a GlobalCache. Call
+// once, before serving traffic; the cache closes with the server.
+func (s *Server) EnableGlobalCache(cassAddr string, cfg CacheConfig) *GlobalCache {
+	if cfg.Dial == nil {
+		cfg.Dial = TCPDial
+	}
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	sweep := cfg.SweepInterval
+	if sweep == 0 {
+		sweep = 5 * time.Second
+	}
+	gc := &GlobalCache{
+		srv:  s,
+		addr: cassAddr,
+		dial: cfg.Dial,
+		max:  cfg.MaxEntries,
+		ctxs: make(map[string]*cacheCtx),
+		stop: make(chan struct{}),
+	}
+	if sweep > 0 {
+		go gc.sweeper(sweep)
+	}
+	s.gcache.Store(gc)
+	return gc
+}
+
+// GlobalCacheEnabled reports whether this server forwards G* verbs.
+func (s *Server) GlobalCacheEnabled() bool { return s.gcache.Load() != nil }
+
+// centry is one cached attribute: its value and CASS seq, or a
+// tombstone (dead) recording a deletion. Tombstones matter: they stop
+// an in-flight fill that read the attribute just before its deletion
+// from resurrecting it.
+type centry struct {
+	value string
+	seq   uint64
+	dead  bool
+}
+
+// cacheCtx is the cache for one context: one upstream connection,
+// subscribed, plus the entry map.
+type cacheCtx struct {
+	gc    *GlobalCache
+	name  string
+	ready chan struct{} // closed when up/initErr are settled
+	up    *Client
+	initE error
+
+	mu      sync.RWMutex
+	gone    bool
+	entries map[string]centry
+}
+
+// Close tears down every cached context and upstream connection.
+func (gc *GlobalCache) Close() {
+	gc.mu.Lock()
+	if gc.closed {
+		gc.mu.Unlock()
+		return
+	}
+	gc.closed = true
+	ctxs := gc.ctxs
+	gc.ctxs = make(map[string]*cacheCtx)
+	gc.mu.Unlock()
+	close(gc.stop)
+	for _, cc := range ctxs {
+		cc.teardown()
+	}
+}
+
+// sweeper periodically drops cache contexts with no local
+// participants, releasing the cache's CASS reference so the upstream
+// context can be destroyed once its real participants exit.
+func (gc *GlobalCache) sweeper(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-gc.stop:
+			return
+		case <-t.C:
+		}
+		gc.mu.Lock()
+		var idle []*cacheCtx
+		for name, cc := range gc.ctxs {
+			if gc.srv.space.Refs(name) == 0 {
+				idle = append(idle, cc)
+			}
+		}
+		gc.mu.Unlock()
+		for _, cc := range idle {
+			cc.teardown()
+		}
+	}
+}
+
+// errCacheClosed reports an operation on a closed cache.
+var errCacheClosed = errors.New("attrspace: global cache closed")
+
+// ctx returns the (ready) cache context for name, creating it — dial,
+// HELLO, subscribe — on first use. Creation happens outside the cache
+// lock so a slow CASS dial for one context never stalls global ops in
+// others; concurrent first users share one creation via the ready
+// channel.
+func (gc *GlobalCache) ctx(ctx context.Context, name string) (*cacheCtx, error) {
+	for {
+		gc.mu.Lock()
+		if gc.closed {
+			gc.mu.Unlock()
+			return nil, errCacheClosed
+		}
+		cc := gc.ctxs[name]
+		if cc == nil {
+			cc = &cacheCtx{
+				gc:      gc,
+				name:    name,
+				ready:   make(chan struct{}),
+				entries: make(map[string]centry),
+			}
+			gc.ctxs[name] = cc
+			gc.mu.Unlock()
+			cc.init()
+			if cc.initE != nil {
+				gc.drop(cc)
+				return nil, cc.initE
+			}
+			return cc, nil
+		}
+		gc.mu.Unlock()
+		select {
+		case <-cc.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if cc.initE != nil {
+			// Creation failed in another goroutine; it already removed
+			// the entry — retry with a fresh one.
+			gc.drop(cc)
+			continue
+		}
+		cc.mu.RLock()
+		gone := cc.gone
+		cc.mu.RUnlock()
+		if gone {
+			gc.drop(cc)
+			continue
+		}
+		return cc, nil
+	}
+}
+
+// drop removes cc from the context map if it is still the registered
+// entry for its name.
+func (gc *GlobalCache) drop(cc *cacheCtx) {
+	gc.mu.Lock()
+	if gc.ctxs[cc.name] == cc {
+		delete(gc.ctxs, cc.name)
+	}
+	gc.mu.Unlock()
+}
+
+// init dials the CASS, joins the context, and subscribes — in that
+// order, which is what makes the cache coherent: every fill is
+// requested after the subscription is live on the CASS, so any write
+// newer than what a fill observed must produce an event we will see.
+func (cc *cacheCtx) init() {
+	defer close(cc.ready)
+	up, err := Dial(cc.gc.dial, cc.gc.addr, cc.name)
+	if err != nil {
+		cc.initE = err
+		return
+	}
+	up.SetEventHandler(cc.onEvent)
+	up.OnClose(func(error) { go cc.teardown() })
+	if err := up.Subscribe(); err != nil {
+		up.Close()
+		cc.initE = err
+		return
+	}
+	cc.up = up
+}
+
+// teardown flushes the context and closes its upstream connection.
+func (cc *cacheCtx) teardown() {
+	cc.gc.drop(cc)
+	cc.mu.Lock()
+	if cc.gone {
+		cc.mu.Unlock()
+		return
+	}
+	cc.gone = true
+	n := len(cc.entries)
+	cc.entries = make(map[string]centry)
+	cc.mu.Unlock()
+	if n > 0 {
+		cc.gc.srv.tel.Load().cacheFlush.Inc()
+	}
+	if cc.up != nil {
+		cc.up.Close()
+	}
+}
+
+// onEvent applies one upstream event. It runs synchronously on the
+// upstream client's read loop (SetEventHandler), so events apply in
+// CASS order and none can be dropped client-side; server-side drops
+// surface as ev.Lost and flush the whole context.
+func (cc *cacheCtx) onEvent(ev Event) {
+	tel := cc.gc.srv.tel.Load()
+	if ev.Lost > 0 {
+		cc.mu.Lock()
+		if !cc.gone {
+			cc.entries = make(map[string]centry)
+		}
+		cc.mu.Unlock()
+		tel.cacheFlush.Inc()
+	}
+	switch ev.Op {
+	case "put":
+		cc.store(ev.Attr, ev.Value, ev.Seq, false)
+	case "delete":
+		cc.store(ev.Attr, "", ev.Seq, true)
+		tel.cacheInval.Inc()
+	case "destroy":
+		// Run off the read loop: teardown closes the upstream client,
+		// which waits for this very read loop to finish.
+		go cc.teardown()
+	}
+}
+
+// store installs value@seq (or a tombstone) unless a newer entry is
+// already present. Both fills and events funnel through here, so the
+// freshest write wins regardless of arrival order.
+func (cc *cacheCtx) store(attribute, value string, seq uint64, dead bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.gone {
+		return
+	}
+	if e, ok := cc.entries[attribute]; ok && e.seq >= seq {
+		return
+	} else if !ok && len(cc.entries) >= cc.gc.max {
+		for k := range cc.entries { // evict an arbitrary entry
+			delete(cc.entries, k)
+			break
+		}
+	}
+	cc.entries[attribute] = centry{value: value, seq: seq, dead: dead}
+}
+
+// lookup probes the cache: (value, seq, true, dead) on a hit.
+func (cc *cacheCtx) lookup(attribute string) (string, uint64, bool, bool) {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	e, ok := cc.entries[attribute]
+	if !ok || cc.gone {
+		return "", 0, false, false
+	}
+	return e.value, e.seq, true, e.dead
+}
+
+// Put writes through to the CASS, then installs the acked value in the
+// cache before returning, so a subsequent read through this LASS sees
+// it (read-your-writes).
+func (gc *GlobalCache) Put(ctx context.Context, contextName, attribute, value string) (uint64, error) {
+	cc, err := gc.ctx(ctx, contextName)
+	if err != nil {
+		return 0, err
+	}
+	seq, err := cc.up.PutV(ctx, attribute, value)
+	if err != nil {
+		return 0, err
+	}
+	cc.store(attribute, value, seq, false)
+	return seq, nil
+}
+
+// PutBatch writes a batch through to the CASS (one MPUT) and installs
+// every pair: the engine assigns the batch consecutive seqs ending at
+// the acked one.
+func (gc *GlobalCache) PutBatch(ctx context.Context, contextName string, pairs []attr.KV) (uint64, error) {
+	cc, err := gc.ctx(ctx, contextName)
+	if err != nil {
+		return 0, err
+	}
+	last, err := cc.up.PutBatchV(ctx, pairs)
+	if err != nil {
+		return 0, err
+	}
+	if last > 0 {
+		first := last - uint64(len(pairs)) + 1
+		for i, p := range pairs {
+			cc.store(p.Key, p.Value, first+uint64(i), false)
+		}
+	}
+	return last, nil
+}
+
+// TryGet answers from the cache when possible; on a miss it fills from
+// one upstream round trip. A cached tombstone answers ErrNotFound
+// locally — that is a hit: the deletion is known, not guessed.
+func (gc *GlobalCache) TryGet(ctx context.Context, contextName, attribute string) (string, uint64, error) {
+	cc, err := gc.ctx(ctx, contextName)
+	if err != nil {
+		return "", 0, err
+	}
+	tel := gc.srv.tel.Load()
+	if v, seq, ok, dead := cc.lookup(attribute); ok {
+		tel.cacheHits.Inc()
+		if dead {
+			return "", 0, attr.ErrNotFound
+		}
+		return v, seq, nil
+	}
+	tel.cacheMiss.Inc()
+	v, seq, err := cc.up.TryGetV(ctx, attribute)
+	if err != nil {
+		return "", 0, err
+	}
+	cc.store(attribute, v, seq, false)
+	tel.cacheFills.Inc()
+	return v, seq, nil
+}
+
+// Get blocks until the attribute exists globally. A live cache entry
+// answers immediately; otherwise (miss or tombstone) the blocking GET
+// is forwarded to the CASS and the result fills the cache.
+func (gc *GlobalCache) Get(ctx context.Context, contextName, attribute string) (string, uint64, error) {
+	cc, err := gc.ctx(ctx, contextName)
+	if err != nil {
+		return "", 0, err
+	}
+	tel := gc.srv.tel.Load()
+	if v, seq, ok, dead := cc.lookup(attribute); ok && !dead {
+		tel.cacheHits.Inc()
+		return v, seq, nil
+	}
+	tel.cacheMiss.Inc()
+	v, seq, err := cc.up.GetV(ctx, attribute)
+	if err != nil {
+		return "", 0, err
+	}
+	cc.store(attribute, v, seq, false)
+	tel.cacheFills.Inc()
+	return v, seq, nil
+}
+
+// Delete writes the deletion through to the CASS and tombstones the
+// local entry with the acked seq.
+func (gc *GlobalCache) Delete(ctx context.Context, contextName, attribute string) (uint64, error) {
+	cc, err := gc.ctx(ctx, contextName)
+	if err != nil {
+		return 0, err
+	}
+	seq, err := cc.up.DeleteV(ctx, attribute)
+	if err != nil {
+		return 0, err
+	}
+	if seq > 0 {
+		cc.store(attribute, "", seq, true)
+	}
+	return seq, nil
+}
+
+// Snapshot always asks the CASS: a snapshot must be complete, and the
+// cache only ever holds the attributes someone read or that events
+// touched.
+func (gc *GlobalCache) Snapshot(ctx context.Context, contextName string) (map[string]string, error) {
+	cc, err := gc.ctx(ctx, contextName)
+	if err != nil {
+		return nil, err
+	}
+	return cc.up.Snapshot()
+}
+
+// Contexts reports the names of currently cached contexts (tests).
+func (gc *GlobalCache) Contexts() []string {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	names := make([]string, 0, len(gc.ctxs))
+	for n := range gc.ctxs {
+		names = append(names, n)
+	}
+	return names
+}

@@ -35,6 +35,11 @@ type Event struct {
 	Value string
 	Op    string // "put", "delete", or "destroy"
 	Seq   uint64
+	// Lost is the number of updates the server's fan-out ring dropped
+	// for this subscriber since the previous event (0 almost always).
+	// A consumer mirroring the space — the LASS global cache — must
+	// treat any nonzero Lost as a gap and resynchronize.
+	Lost uint64
 }
 
 // KV is one attribute/value pair in a batched put; re-exported from
@@ -54,8 +59,10 @@ type Client struct {
 	closed  bool
 	err     error
 
-	events chan Event
-	subbed bool
+	events  chan Event
+	handler func(Event) // when set, replaces the events channel
+	onClose func(error)
+	subbed  bool
 
 	// Async-put coalescing state: queued puts accumulate in putq while
 	// a flush is in flight and leave as one MPUT. noMPUT flips on when
@@ -111,7 +118,18 @@ func (c *Client) readLoop() {
 		}
 		if m.Verb == "EVENT" {
 			seq, _ := strconv.ParseUint(m.Get("seq"), 10, 64)
-			ev := Event{Attr: m.Get("attr"), Value: m.Get("value"), Op: m.Get("op"), Seq: seq}
+			lost, _ := strconv.ParseUint(m.Get("lost"), 10, 64)
+			ev := Event{Attr: m.Get("attr"), Value: m.Get("value"), Op: m.Get("op"), Seq: seq, Lost: lost}
+			c.mu.Lock()
+			handler := c.handler
+			c.mu.Unlock()
+			if handler != nil {
+				// Synchronous delivery: the handler observes every event
+				// in server order with no client-side drops. It must not
+				// block on this client's own operations.
+				handler(ev)
+				continue
+			}
 			select {
 			case c.events <- ev:
 			default:
@@ -149,12 +167,38 @@ func (c *Client) fail(err error) {
 	c.err = err
 	pending := c.pending
 	c.pending = make(map[string]chan *wire.Message)
+	onClose := c.onClose
 	c.mu.Unlock()
 	for id, ch := range pending {
 		ch <- wire.NewMessage("ERROR").Set("id", id).Set("error", err.Error())
 	}
 	close(c.events)
 	c.raw.Close()
+	if onClose != nil {
+		onClose(err)
+	}
+}
+
+// SetEventHandler installs a function invoked synchronously from the
+// read loop for every pushed EVENT, replacing delivery on the Events
+// channel. Unlike the channel (which drops oldest when the consumer
+// lags), a handler observes every event the server sent, in order —
+// the property a coherent mirror needs. Install it before Subscribe;
+// the handler must not call back into this client's blocking
+// operations (it runs on the loop that would receive their replies).
+func (c *Client) SetEventHandler(fn func(Event)) {
+	c.mu.Lock()
+	c.handler = fn
+	c.mu.Unlock()
+}
+
+// OnClose installs a hook invoked once when the client fails or is
+// closed, with the terminal error. Used by the LASS global cache to
+// tear down a cache context whose upstream died.
+func (c *Client) OnClose(fn func(error)) {
+	c.mu.Lock()
+	c.onClose = fn
+	c.mu.Unlock()
 }
 
 // SetTelemetry installs a metrics registry (per-verb op counters and
@@ -415,6 +459,13 @@ var errMPUTUnsupported = errors.New("attrspace: server does not support MPUT")
 // errMPUTUnsupported (and latches noMPUT) when the server rejects the
 // verb, so callers can fall back to individual PUTs.
 func (c *Client) mput(ctx context.Context, pairs []KV) error {
+	_, err := c.mputV(ctx, pairs)
+	return err
+}
+
+// mputV is mput returning the seq acked for the batch's last pair
+// (0 against a server that predates seq-carrying acks).
+func (c *Client) mputV(ctx context.Context, pairs []KV) (uint64, error) {
 	m := wire.NewMessage("MPUT").SetInt("n", len(pairs))
 	for i, p := range pairs {
 		idx := strconv.Itoa(i)
@@ -422,13 +473,16 @@ func (c *Client) mput(ctx context.Context, pairs []KV) error {
 	}
 	reply, err := c.call(ctx, "MPUT", m)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if reply.Verb == "ERROR" && strings.Contains(reply.Get("error"), "unknown verb") {
 		c.noMPUT.Store(true)
-		return errMPUTUnsupported
+		return 0, errMPUTUnsupported
 	}
-	return replyErr(reply)
+	if err := replyErr(reply); err != nil {
+		return 0, err
+	}
+	return replySeq(reply), nil
 }
 
 // PutBatch stores every pair in order and waits for the single
@@ -554,6 +608,11 @@ func (c *Client) Snapshot() (map[string]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseSnap(reply)
+}
+
+// parseSnap decodes a SNAPV reply's k0/v0.. pairs.
+func parseSnap(reply *wire.Message) (map[string]string, error) {
 	if err := replyErr(reply); err != nil {
 		return nil, err
 	}
@@ -567,6 +626,95 @@ func (c *Client) Snapshot() (map[string]string, error) {
 		out[k] = reply.Get("v" + strconv.Itoa(i))
 	}
 	return out, nil
+}
+
+// replySeq extracts the per-context sequence number a mutating ack or
+// VALUE reply carries; 0 against a pre-seq server.
+func replySeq(reply *wire.Message) uint64 {
+	seq, _ := strconv.ParseUint(reply.Get("seq"), 10, 64)
+	return seq
+}
+
+// PutV is Put returning the per-context seq the server assigned the
+// write (0 against a pre-seq server).
+func (c *Client) PutV(ctx context.Context, attribute, value string) (uint64, error) {
+	reply, err := c.call(ctx, "PUT", wire.NewMessage("PUT").Set("attr", attribute).Set("value", value))
+	if err != nil {
+		return 0, err
+	}
+	if err := replyErr(reply); err != nil {
+		return 0, err
+	}
+	return replySeq(reply), nil
+}
+
+// GetV is Get additionally returning the seq of the write that
+// produced the value.
+func (c *Client) GetV(ctx context.Context, attribute string) (string, uint64, error) {
+	reply, err := c.call(ctx, "GET", wire.NewMessage("GET").Set("attr", attribute))
+	if err != nil {
+		return "", 0, err
+	}
+	if err := replyErr(reply); err != nil {
+		return "", 0, err
+	}
+	return reply.Get("value"), replySeq(reply), nil
+}
+
+// TryGetV is TryGet additionally returning the seq of the write that
+// produced the value.
+func (c *Client) TryGetV(ctx context.Context, attribute string) (string, uint64, error) {
+	reply, err := c.call(ctx, "TRYGET", wire.NewMessage("TRYGET").Set("attr", attribute))
+	if err != nil {
+		return "", 0, err
+	}
+	if reply.Verb == "NOTFOUND" {
+		return "", 0, ErrNotFound
+	}
+	if err := replyErr(reply); err != nil {
+		return "", 0, err
+	}
+	return reply.Get("value"), replySeq(reply), nil
+}
+
+// DeleteV is Delete returning the seq assigned to the deletion (0 when
+// the attribute was already absent).
+func (c *Client) DeleteV(ctx context.Context, attribute string) (uint64, error) {
+	reply, err := c.call(ctx, "DELETE", wire.NewMessage("DELETE").Set("attr", attribute))
+	if err != nil {
+		return 0, err
+	}
+	if err := replyErr(reply); err != nil {
+		return 0, err
+	}
+	return replySeq(reply), nil
+}
+
+// PutBatchV is PutBatch returning the seq acked for the last pair.
+// Against a server without MPUT it falls back to sequential PutVs so
+// the returned seq is still the last write's.
+func (c *Client) PutBatchV(ctx context.Context, pairs []KV) (uint64, error) {
+	switch len(pairs) {
+	case 0:
+		return 0, nil
+	case 1:
+		return c.PutV(ctx, pairs[0].Key, pairs[0].Value)
+	}
+	if !c.noMPUT.Load() {
+		seq, err := c.mputV(ctx, pairs)
+		if !errors.Is(err, errMPUTUnsupported) {
+			return seq, err
+		}
+	}
+	var last uint64
+	for _, p := range pairs {
+		seq, err := c.PutV(ctx, p.Key, p.Value)
+		if err != nil {
+			return 0, err
+		}
+		last = seq
+	}
+	return last, nil
 }
 
 // Subscribe starts event push from the server. Events arrive on the
@@ -601,6 +749,101 @@ func (c *Client) Subscribe() error {
 // Events returns the subscription event channel. It never yields
 // events before Subscribe succeeds.
 func (c *Client) Events() <-chan Event { return c.events }
+
+// ErrNoGlobal reports a G* verb sent to a server without an upstream
+// CASS (global forwarding not enabled, or an older server).
+var ErrNoGlobal = errors.New("attrspace: server has no global forwarding")
+
+// globalErr maps a G* ERROR reply onto client-side sentinels.
+func globalErr(reply *wire.Message) error {
+	if reply.Verb == "ERROR" {
+		text := reply.Get("error")
+		if strings.Contains(text, "unknown verb") || strings.Contains(text, "global forwarding not enabled") {
+			return ErrNoGlobal
+		}
+	}
+	return replyErr(reply)
+}
+
+// PutGlobal stores a global (CASS) attribute through this LASS: the
+// LASS writes through to its CASS and caches the acked value, so a
+// subsequent GetGlobal via the same LASS sees this write without an
+// upstream round trip.
+func (c *Client) PutGlobal(ctx context.Context, attribute, value string) error {
+	reply, err := c.call(ctx, "GPUT", wire.NewMessage("GPUT").Set("attr", attribute).Set("value", value))
+	if err != nil {
+		return err
+	}
+	return globalErr(reply)
+}
+
+// PutBatchGlobal stores a batch of global attributes in one GMPUT.
+func (c *Client) PutBatchGlobal(ctx context.Context, pairs []KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := wire.NewMessage("GMPUT").SetInt("n", len(pairs))
+	for i, p := range pairs {
+		idx := strconv.Itoa(i)
+		m.Set("k"+idx, p.Key).Set("v"+idx, p.Value)
+	}
+	reply, err := c.call(ctx, "GMPUT", m)
+	if err != nil {
+		return err
+	}
+	return globalErr(reply)
+}
+
+// GetGlobal blocks until the global attribute exists; steady-state
+// reads are answered from the LASS cache in one local hop.
+func (c *Client) GetGlobal(ctx context.Context, attribute string) (string, error) {
+	reply, err := c.call(ctx, "GGET", wire.NewMessage("GGET").Set("attr", attribute))
+	if err != nil {
+		return "", err
+	}
+	if err := globalErr(reply); err != nil {
+		return "", err
+	}
+	return reply.Get("value"), nil
+}
+
+// TryGetGlobal returns the global attribute's value without blocking;
+// ErrNotFound when absent.
+func (c *Client) TryGetGlobal(ctx context.Context, attribute string) (string, error) {
+	reply, err := c.call(ctx, "GTRYGET", wire.NewMessage("GTRYGET").Set("attr", attribute))
+	if err != nil {
+		return "", err
+	}
+	if reply.Verb == "NOTFOUND" {
+		return "", ErrNotFound
+	}
+	if err := globalErr(reply); err != nil {
+		return "", err
+	}
+	return reply.Get("value"), nil
+}
+
+// DeleteGlobal removes a global attribute through this LASS.
+func (c *Client) DeleteGlobal(ctx context.Context, attribute string) error {
+	reply, err := c.call(ctx, "GDEL", wire.NewMessage("GDEL").Set("attr", attribute))
+	if err != nil {
+		return err
+	}
+	return globalErr(reply)
+}
+
+// SnapshotGlobal dumps the context's global attributes (always one
+// upstream round trip; snapshots are never served from the cache).
+func (c *Client) SnapshotGlobal(ctx context.Context) (map[string]string, error) {
+	reply, err := c.call(ctx, "GSNAP", wire.NewMessage("GSNAP"))
+	if err != nil {
+		return nil, err
+	}
+	if err := globalErr(reply); err != nil {
+		return nil, err
+	}
+	return parseSnap(reply)
+}
 
 // Close leaves the context (the tdp_exit half of the refcount) and
 // tears down the connection. Close is idempotent.

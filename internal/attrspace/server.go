@@ -19,14 +19,22 @@
 //	  STATS   id=<n>                         dump daemon telemetry (no HELLO needed)
 //	  EXIT                                   leave context and disconnect
 //
+//	client → LASS (global forwarding; LASS relays to its CASS):
+//	  GPUT    id=<n> attr=<a> value=<v>      global put, write-through
+//	  GMPUT   id=<n> n=<c> k0=.. v0=..       global batched put
+//	  GGET    id=<n> attr=<a>                blocking global get (cache first)
+//	  GTRYGET id=<n> attr=<a>                non-blocking global get (cache first)
+//	  GDEL    id=<n> attr=<a>                global delete, write-through
+//	  GSNAP   id=<n>                         global snapshot (never cached)
+//
 //	server → client:
-//	  OK      id=<n>
-//	  VALUE   id=<n> attr=<a> value=<v>
+//	  OK      id=<n> [seq=<s>]
+//	  VALUE   id=<n> attr=<a> value=<v> [seq=<s>]
 //	  NOTFOUND id=<n> attr=<a>
 //	  SNAPV   id=<n> n=<count> k0=.. v0=.. k1=..
 //	  STATSV  id=<n> daemon=<name> json=<telemetry snapshot>
 //	  ERROR   id=<n> error=<text>
-//	  EVENT   attr=<a> value=<v> op=<put|delete|destroy> seq=<n>
+//	  EVENT   attr=<a> value=<v> op=<put|delete|destroy> seq=<n> [lost=<d>]
 //
 // Every reply carries the request id, so a client may keep many
 // blocking GETs outstanding on one connection — this is what makes the
@@ -34,6 +42,18 @@
 // puts (a tool daemon publishing its startup attributes) into one
 // round trip; servers that predate it answer with an unknown-verb
 // ERROR and clients fall back to individual PUTs.
+//
+// Mutating acks and VALUE replies carry the per-context sequence
+// number of the write they report (seq), which is what versions the
+// LASS read cache. EVENT may carry lost=<d>: the number of updates the
+// server's fan-out ring had to drop for this subscriber since the last
+// event — a nonzero delta tells a mirroring consumer (the cache) that
+// its picture has a gap and must be flushed. The G* verbs are answered
+// by a LASS started with an upstream CASS (see EnableGlobalCache):
+// reads are served from a local cache kept coherent by the LASS's own
+// subscription to the CASS, writes go through to the CASS and update
+// the cache with the CASS-assigned seq before the ack, so a client
+// reads its own global writes through the same LASS.
 //
 // Requests may additionally carry the reserved _tid/_sid span-tracing
 // fields (wire.FieldTraceID); the server then records its share of the
@@ -61,7 +81,8 @@ import (
 // serverVerbs are the request verbs the server counts and times; one
 // counter "attrspace.ops.<verb>" and one latency histogram
 // "attrspace.latency.<verb>" exist per verb.
-var serverVerbs = []string{"hello", "put", "mput", "get", "tryget", "delete", "snap", "sub", "stats"}
+var serverVerbs = []string{"hello", "put", "mput", "get", "tryget", "delete", "snap", "sub", "stats",
+	"gput", "gmput", "gget", "gtryget", "gdel", "gsnap"}
 
 // verbMetrics caches one verb's hot-path metric handles.
 type verbMetrics struct {
@@ -79,6 +100,19 @@ type telemetryHandles struct {
 	tracer *telemetry.Tracer
 	verbs  map[string]verbMetrics // read-only after construction
 	gConns *telemetry.Gauge
+
+	// Event fan-out accounting (the asynchronous subscriber path).
+	evPushed    *telemetry.Counter // events written to subscribers
+	evLost      *telemetry.Counter // updates dropped on ring overflow
+	evCoalesced *telemetry.Counter // updates coalesced-to-latest on overflow
+	evDepth     *telemetry.Gauge   // last observed ring depth (high-water hint)
+
+	// Global read-cache accounting (the LASS→CASS forwarding path).
+	cacheHits  *telemetry.Counter
+	cacheMiss  *telemetry.Counter
+	cacheFills *telemetry.Counter
+	cacheInval *telemetry.Counter // entries invalidated by upstream events
+	cacheFlush *telemetry.Counter // whole-context flushes (lost events, teardown)
 }
 
 // Server is one attribute space server instance (a LASS or the CASS).
@@ -96,6 +130,14 @@ type Server struct {
 	// tel is the current telemetry bundle; never nil after NewServer.
 	tel    atomic.Pointer[telemetryHandles]
 	logger atomic.Pointer[telemetry.Logger]
+
+	// evBuf sizes the fan-out ring + delivery channel of subscriptions
+	// created by SUB; see SetEventBuffer.
+	evBuf atomic.Int32
+
+	// gcache, when non-nil, serves the G* global-forwarding verbs: this
+	// server is a LASS with an upstream CASS. See EnableGlobalCache.
+	gcache atomic.Pointer[GlobalCache]
 }
 
 // NewServer returns a server around a fresh attribute space.
@@ -110,8 +152,24 @@ func NewServerWithSpace(space *attr.Space) *Server {
 		space: space,
 		conns: make(map[*serverConn]struct{}),
 	}
+	s.evBuf.Store(DefaultEventBuffer)
 	s.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("attrspace"))
 	return s
+}
+
+// DefaultEventBuffer is the per-subscription fan-out ring size used
+// for SUB when SetEventBuffer was not called.
+const DefaultEventBuffer = 64
+
+// SetEventBuffer sizes the per-subscription ring buffer (and delivery
+// channel) for subscriptions created by subsequent SUB requests.
+// Larger buffers absorb bigger bursts before the overflow policy
+// (coalesce-to-latest, then drop-oldest) engages; see attr.Subscription.
+func (s *Server) SetEventBuffer(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.evBuf.Store(int32(n))
 }
 
 // SetTelemetry installs the registry this server counts into and the
@@ -138,6 +196,15 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer)
 			}
 		}
 		h.gConns = reg.Gauge("attrspace.conns")
+		h.evPushed = reg.Counter("attrspace.events.pushed")
+		h.evLost = reg.Counter("attrspace.events.lost")
+		h.evCoalesced = reg.Counter("attrspace.events.coalesced")
+		h.evDepth = reg.Gauge("attrspace.events.depth")
+		h.cacheHits = reg.Counter("attrspace.cache.hits")
+		h.cacheMiss = reg.Counter("attrspace.cache.misses")
+		h.cacheFills = reg.Counter("attrspace.cache.fills")
+		h.cacheInval = reg.Counter("attrspace.cache.invalidations")
+		h.cacheFlush = reg.Counter("attrspace.cache.flushes")
 	}
 	if tracer != nil {
 		h.tracer = tracer
@@ -261,6 +328,9 @@ func (s *Server) Close() {
 	}
 	for _, c := range conns {
 		c.raw.Close()
+	}
+	if gc := s.gcache.Load(); gc != nil {
+		gc.Close()
 	}
 }
 
@@ -391,6 +461,8 @@ func (c *serverConn) run() {
 			c.handleStats(m)
 		case "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
 			c.handleOp(ctx, m)
+		case "GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP":
+			c.handleGlobal(ctx, m)
 		default:
 			c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).
 				Set("error", fmt.Sprintf("unknown verb %q", m.Verb)))
@@ -448,12 +520,13 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 	}
 	switch m.Verb {
 	case "PUT":
-		if err := ref.Put(m.Get("attr"), m.Get("value")); err != nil {
+		seq, err := ref.PutSeq(m.Get("attr"), m.Get("value"))
+		if err != nil {
 			c.replyErr(id, err)
 			finish()
 			return
 		}
-		c.reply(wire.NewMessage("OK").Set("id", id))
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
 		finish()
 	case "MPUT":
 		pairs, err := decodeBatch(m)
@@ -462,22 +535,24 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 			finish()
 			return
 		}
-		if err := ref.PutBatch(pairs); err != nil {
+		seq, err := ref.PutBatchSeq(pairs)
+		if err != nil {
 			c.replyErr(id, err)
 			finish()
 			return
 		}
-		c.reply(wire.NewMessage("OK").Set("id", id))
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
 		finish()
 	case "TRYGET":
-		v, err := ref.TryGet(m.Get("attr"))
+		v, seq, err := ref.TryGetSeq(m.Get("attr"))
 		switch {
 		case errors.Is(err, attr.ErrNotFound):
 			c.reply(wire.NewMessage("NOTFOUND").Set("id", id).Set("attr", m.Get("attr")))
 		case err != nil:
 			c.replyErr(id, err)
 		default:
-			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", m.Get("attr")).Set("value", v))
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", m.Get("attr")).
+				Set("value", v).Set("seq", strconv.FormatUint(seq, 10)))
 		}
 		finish()
 	case "GET":
@@ -485,8 +560,9 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		// Fast path: when the attribute is already present the GET
 		// cannot block, so answer inline and skip the per-request
 		// goroutine entirely — the common case once a job is running.
-		if v, err := ref.TryGet(attribute); err == nil {
-			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).Set("value", v))
+		if v, seq, err := ref.TryGetSeq(attribute); err == nil {
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).
+				Set("value", v).Set("seq", strconv.FormatUint(seq, 10)))
 			finish()
 			return
 		}
@@ -496,22 +572,24 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		// histogram therefore includes the time spent blocked — the
 		// number a tool writer actually experiences.
 		go func() {
-			v, err := ref.Get(ctx, attribute)
+			v, seq, err := ref.GetSeq(ctx, attribute)
 			if err != nil {
 				c.replyErr(id, err)
 				finish()
 				return
 			}
-			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).Set("value", v))
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).
+				Set("value", v).Set("seq", strconv.FormatUint(seq, 10)))
 			finish()
 		}()
 	case "DELETE":
-		if err := ref.Delete(m.Get("attr")); err != nil {
+		seq, err := ref.DeleteSeq(m.Get("attr"))
+		if err != nil {
 			c.replyErr(id, err)
 			finish()
 			return
 		}
-		c.reply(wire.NewMessage("OK").Set("id", id))
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
 		finish()
 	case "SNAP":
 		snap, err := ref.Snapshot()
@@ -534,7 +612,7 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		already := c.sub != nil
 		var err error
 		if !already {
-			c.sub, err = ref.Subscribe(64)
+			c.sub, err = ref.Subscribe(int(srv.evBuf.Load()))
 		}
 		sub := c.sub
 		c.mu.Unlock()
@@ -583,12 +661,29 @@ func decodeBatch(m *wire.Message) ([]attr.KV, error) {
 
 // pushEvents forwards subscription updates to the peer. Bursts (a
 // batched put, a publisher faster than the network) are drained under
-// one Cork so the whole burst leaves in a single write.
+// one Cork so the whole burst leaves in a single write. Once per burst
+// it samples the ring's overflow counters; any drops since the last
+// sample ride the next EVENT as a lost=<delta> field so a mirroring
+// consumer knows its picture has a gap.
 func (c *serverConn) pushEvents(sub *attr.Subscription) {
+	tel := c.srv.tel.Load()
 	updates := sub.Updates()
+	var reportedLost, reportedCoal uint64
 	for u := range updates {
+		var lostDelta uint64
+		if l := sub.Lost(); l > reportedLost {
+			lostDelta = l - reportedLost
+			reportedLost = l
+			tel.evLost.Add(int64(lostDelta))
+		}
+		if cl := sub.Coalesced(); cl > reportedCoal {
+			tel.evCoalesced.Add(int64(cl - reportedCoal))
+			reportedCoal = cl
+		}
+		tel.evDepth.Set(int64(sub.Depth()))
 		c.wc.Cork()
-		err := c.sendEvent(u)
+		err := c.sendEvent(u, lostDelta)
+		sent := 1
 	drain:
 		for err == nil {
 			select {
@@ -596,7 +691,8 @@ func (c *serverConn) pushEvents(sub *attr.Subscription) {
 				if !ok {
 					break drain
 				}
-				err = c.sendEvent(u)
+				err = c.sendEvent(u, 0)
+				sent++
 			default:
 				break drain
 			}
@@ -607,15 +703,139 @@ func (c *serverConn) pushEvents(sub *attr.Subscription) {
 		if err != nil {
 			return
 		}
+		tel.evPushed.Add(int64(sent))
 	}
 }
 
-func (c *serverConn) sendEvent(u attr.Update) error {
-	return c.wc.Send(wire.NewMessage("EVENT").
+func (c *serverConn) sendEvent(u attr.Update, lost uint64) error {
+	m := wire.NewMessage("EVENT").
 		Set("attr", u.Attr).
 		Set("value", u.Value).
 		Set("op", u.Op.String()).
-		Set("seq", strconv.FormatUint(u.Seq, 10)))
+		Set("seq", strconv.FormatUint(u.Seq, 10))
+	if lost > 0 {
+		m.Set("lost", strconv.FormatUint(lost, 10))
+	}
+	return c.wc.Send(m)
+}
+
+// handleGlobal serves the G* forwarding verbs: this server acting as a
+// LASS relays the operation to its upstream CASS through the global
+// cache. Reads are answered from the cache when it holds a live entry
+// for the attribute; everything else is one upstream round trip whose
+// result (with the CASS-assigned seq) lands in the cache before the
+// reply, so a client observes its own writes through the same LASS.
+func (c *serverConn) handleGlobal(ctx context.Context, m *wire.Message) {
+	c.mu.Lock()
+	ref := c.ref
+	c.mu.Unlock()
+	id := m.Get("id")
+	if ref == nil {
+		c.reply(wire.NewMessage("ERROR").Set("id", id).Set("error", "HELLO required"))
+		return
+	}
+	gc := c.srv.gcache.Load()
+	if gc == nil {
+		c.reply(wire.NewMessage("ERROR").Set("id", id).Set("error", "global forwarding not enabled"))
+		return
+	}
+	srv := c.srv
+	done := srv.observe(strings.ToLower(m.Verb))
+	sp := c.startSpan(m)
+	if sp != nil && m.Get("attr") != "" {
+		sp.Set("attr", m.Get("attr"))
+	}
+	finish := func() {
+		done()
+		sp.End()
+	}
+	contextName := ref.Context()
+	switch m.Verb {
+	case "GPUT":
+		seq, err := gc.Put(ctx, contextName, m.Get("attr"), m.Get("value"))
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
+		finish()
+	case "GMPUT":
+		pairs, err := decodeBatch(m)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		seq, err := gc.PutBatch(ctx, contextName, pairs)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
+		finish()
+	case "GTRYGET":
+		attribute := m.Get("attr")
+		v, seq, err := gc.TryGet(ctx, contextName, attribute)
+		switch {
+		case errors.Is(err, attr.ErrNotFound):
+			c.reply(wire.NewMessage("NOTFOUND").Set("id", id).Set("attr", attribute))
+		case err != nil:
+			c.replyErr(id, err)
+		default:
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).
+				Set("value", v).Set("seq", strconv.FormatUint(seq, 10)))
+		}
+		finish()
+	case "GGET":
+		attribute := m.Get("attr")
+		// Cache hit: answer inline, no upstream traffic — the steady
+		// state the cache exists for.
+		if v, seq, err := gc.TryGet(ctx, contextName, attribute); err == nil {
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).
+				Set("value", v).Set("seq", strconv.FormatUint(seq, 10)))
+			finish()
+			return
+		}
+		// Miss: block on the CASS from a goroutine, like local GET.
+		go func() {
+			v, seq, err := gc.Get(ctx, contextName, attribute)
+			if err != nil {
+				c.replyErr(id, err)
+				finish()
+				return
+			}
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", attribute).
+				Set("value", v).Set("seq", strconv.FormatUint(seq, 10)))
+			finish()
+		}()
+	case "GDEL":
+		seq, err := gc.Delete(ctx, contextName, m.Get("attr"))
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
+		finish()
+	case "GSNAP":
+		snap, err := gc.Snapshot(ctx, contextName)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		reply := wire.NewMessage("SNAPV").Set("id", id).SetInt("n", len(snap))
+		i := 0
+		for k, v := range snap {
+			reply.Set("k"+strconv.Itoa(i), k)
+			reply.Set("v"+strconv.Itoa(i), v)
+			i++
+		}
+		c.reply(reply)
+		finish()
+	}
 }
 
 func (c *serverConn) reply(m *wire.Message) {

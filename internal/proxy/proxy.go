@@ -151,13 +151,26 @@ func (f *Forwarder) Stats() (tunnels int64, bytes int64) {
 	return f.tunnels, f.bytes.Load()
 }
 
+// relayBufs pools the copy buffers splice uses. io.Copy against a
+// plain writer allocates a fresh 32 KiB buffer per call — two per
+// tunnel, for the whole life of short-lived tunnels a busy proxy
+// churns through. The pool recycles them across tunnels.
+var relayBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 32*1024)
+		return &b
+	},
+}
+
 // splice copies bidirectionally until either side closes, counting
 // bytes into total and, when non-nil, into the mirrored registry
 // counter.
 func splice(a, b net.Conn, total *atomic.Int64, mirror *telemetry.Counter) {
 	done := make(chan struct{}, 2)
 	cp := func(dst, src net.Conn) {
-		io.Copy(countWriter{w: dst, total: total, mirror: mirror}, src)
+		buf := relayBufs.Get().(*[]byte)
+		io.CopyBuffer(countWriter{w: dst, total: total, mirror: mirror}, src, *buf)
+		relayBufs.Put(buf)
 		// Half-close where supported so the peer's reads terminate.
 		type closeWriter interface{ CloseWrite() error }
 		if cw, ok := dst.(closeWriter); ok {

@@ -51,12 +51,48 @@ func ParseLevel(s string) Level {
 	}
 }
 
+// DefaultMaxRecordLen bounds a formatted log record. Attribute values
+// are free-form strings with no protocol-level size limit, and several
+// records include them verbatim (send failures quote the whole
+// message); without a bound one pathological value turns the log into
+// a memory and I/O problem. Truncated records end in "…(+N bytes)".
+const DefaultMaxRecordLen = 2048
+
 // Logger is the one injectable, leveled logger shared by the daemons.
 // A nil *Logger is valid and silent, so call sites need no nil checks.
 type Logger struct {
-	mu   sync.Mutex
-	min  Level
-	sink func(level Level, msg string)
+	mu     sync.Mutex
+	min    Level
+	maxLen int // 0 means DefaultMaxRecordLen; <0 disables truncation
+	sink   func(level Level, msg string)
+}
+
+// SetMaxRecordLen bounds formatted records to n bytes (plus a short
+// truncation marker). n <= 0 disables the bound.
+func (l *Logger) SetMaxRecordLen(n int) {
+	if l == nil {
+		return
+	}
+	if n <= 0 {
+		n = -1
+	}
+	l.mu.Lock()
+	l.maxLen = n
+	l.mu.Unlock()
+}
+
+// truncate enforces max on msg, appending an ellipsis marker with the
+// elided byte count. It cuts on a rune boundary so the marker never
+// splits a multi-byte character.
+func truncate(msg string, max int) string {
+	if max <= 0 || len(msg) <= max {
+		return msg
+	}
+	cut := max
+	for cut > 0 && msg[cut]&0xC0 == 0x80 { // don't split a UTF-8 rune
+		cut--
+	}
+	return fmt.Sprintf("%s…(+%d bytes)", msg[:cut], len(msg)-cut)
 }
 
 // NewLogger writes records at or above min to out, prefixed with the
@@ -103,12 +139,15 @@ func (l *Logger) logf(level Level, format string, args ...any) {
 		return
 	}
 	l.mu.Lock()
-	min, sink := l.min, l.sink
+	min, sink, maxLen := l.min, l.sink, l.maxLen
 	l.mu.Unlock()
 	if level < min || sink == nil {
 		return
 	}
-	sink(level, fmt.Sprintf(format, args...))
+	if maxLen == 0 {
+		maxLen = DefaultMaxRecordLen
+	}
+	sink(level, truncate(fmt.Sprintf(format, args...), maxLen))
 }
 
 // Debugf logs at LevelDebug.

@@ -166,3 +166,36 @@ func TestParseLevel(t *testing.T) {
 		}
 	}
 }
+
+func TestLoggerTruncatesLongRecords(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, LevelDebug, "")
+	log.SetMaxRecordLen(32)
+	long := strings.Repeat("x", 500)
+	log.Infof("value=%s", long)
+	out := b.String()
+	if strings.Contains(out, long) {
+		t.Fatal("record not truncated")
+	}
+	if !strings.Contains(out, "…(+") {
+		t.Errorf("missing truncation marker:\n%s", out)
+	}
+	// Default bound applies without SetMaxRecordLen.
+	b.Reset()
+	log2 := NewLogger(&b, LevelDebug, "")
+	log2.Infof("%s", strings.Repeat("y", DefaultMaxRecordLen+100))
+	if got := b.Len(); got > DefaultMaxRecordLen+64 {
+		t.Errorf("default-bounded record is %d bytes", got)
+	}
+	// Disabling the bound passes records through.
+	b.Reset()
+	log2.SetMaxRecordLen(-1)
+	log2.Infof("%s", long)
+	if !strings.Contains(b.String(), long) {
+		t.Error("unbounded logger truncated anyway")
+	}
+	// Truncation never splits a UTF-8 rune.
+	if got := truncate(strings.Repeat("é", 20), 5); !strings.HasPrefix(got, "éé…") {
+		t.Errorf("rune-split truncation: %q", got)
+	}
+}

@@ -77,9 +77,11 @@ func init() {
 		"HELLO", "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB",
 		"STATS", "EXIT", "OK", "VALUE", "NOTFOUND", "SNAPV", "STATSV",
 		"ERROR", "EVENT",
+		// Global-forwarding verbs (LASS → CASS relay).
+		"GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP",
 		// Common field keys.
 		"id", "attr", "value", "context", "error", "daemon", "json",
-		"n", "seq", "op", "who",
+		"n", "seq", "op", "who", "lost",
 		FieldTraceID, FieldSpanID,
 	}
 	// Batched put / snapshot field keys k0..k31, v0..v31; larger
@@ -170,19 +172,29 @@ func (m *Message) Int(key string, def int) int {
 	return n
 }
 
-// String renders the message for logs and error text.
+// String renders the message for logs and error text. The buffer is
+// presized from the actual key/value lengths and values are quoted in
+// place with AppendQuote, so rendering a message with long values is
+// one allocation-and-copy pass instead of a per-field Quote allocation
+// feeding an undersized builder that regrows (and re-copies) as each
+// chunk lands.
 func (m *Message) String() string {
 	keys := sortedFieldKeys(m.Fields)
-	var b strings.Builder
-	b.Grow(len(m.Verb) + 16*len(keys))
-	b.WriteString(m.Verb)
+	size := len(m.Verb)
 	for _, k := range keys {
-		b.WriteByte(' ')
-		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(strconv.Quote(m.Fields[k]))
+		// ' ' + key + '=' + '"' + value + '"'; escapes may add more,
+		// but that growth is amortized against an almost-right base.
+		size += len(k) + len(m.Fields[k]) + 4
 	}
-	return b.String()
+	buf := make([]byte, 0, size)
+	buf = append(buf, m.Verb...)
+	for _, k := range keys {
+		buf = append(buf, ' ')
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		buf = strconv.AppendQuote(buf, m.Fields[k])
+	}
+	return string(buf)
 }
 
 // EncodedSize returns the exact number of payload bytes Encode and

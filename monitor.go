@@ -119,5 +119,21 @@ func ServeLASS(addr string) (*attrspace.Server, string, error) {
 	return srv, bound, nil
 }
 
+// ServeCachingLASS starts a LASS whose G* global verbs forward to the
+// CASS at cassAddr through a subscription-invalidated read cache:
+// steady-state global gets by local daemons are answered in one local
+// hop, writes go through to the CASS (and stay read-your-writes for
+// clients of this LASS). Daemons opt in with Config.GlobalViaLASS.
+func ServeCachingLASS(addr, cassAddr string, dial attrspace.DialFunc) (*attrspace.Server, string, error) {
+	srv := attrspace.NewServer()
+	srv.EnableGlobalCache(cassAddr, attrspace.CacheConfig{Dial: dial})
+	bound, err := srv.ListenAndServe(addr)
+	if err != nil {
+		srv.Close()
+		return nil, "", fmt.Errorf("tdp: serve caching LASS: %w", err)
+	}
+	return srv, bound, nil
+}
+
 // FormatPID renders a pid the way attribute values carry it.
 func FormatPID(pid procsim.PID) string { return strconv.Itoa(int(pid)) }

@@ -6,12 +6,19 @@
 # THRESHOLD percent (default 20) against the committed baseline.
 # Benchmarks present on only one side are reported but never fail the
 # run — adding a benchmark must not break CI.
+#
+# Benchmarks whose names match GATE_EXCLUDE (an awk ERE) are reported
+# as warnings but never fail the run: the contention- and
+# network-shaped scaling benchmarks swing well past 20% run to run on
+# shared machines, so gating on them would make CI flaky. They stay in
+# the tracked set so drift is still visible in the report.
 set -eu
 baseline=${1:?usage: benchdiff.sh baseline.json current.json}
 current=${2:?usage: benchdiff.sh baseline.json current.json}
 : "${THRESHOLD:=20}"
+: "${GATE_EXCLUDE:=ManyContexts|GlobalGetCached|ProxyRelay}"
 
-awk -v thr="$THRESHOLD" '
+awk -v thr="$THRESHOLD" -v excl="$GATE_EXCLUDE" '
 FNR == 1 { file++ }
 match($0, /"name": "[^"]+"/) {
 	name = substr($0, RSTART + 9, RLENGTH - 10)
@@ -31,7 +38,10 @@ END {
 		}
 		delta = (cur[name] - base[name]) / base[name] * 100
 		flag = "ok"
-		if (delta > thr) { flag = "REGRESSION"; bad = 1 }
+		if (delta > thr) {
+			if (excl != "" && name ~ excl) flag = "warn"
+			else { flag = "REGRESSION"; bad = 1 }
+		}
 		printf "%-10s %-48s %12.1f -> %10.1f ns/op (%+6.1f%%)\n", \
 			flag, name, base[name], cur[name], delta
 	}

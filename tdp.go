@@ -105,6 +105,16 @@ type Config struct {
 	// on the front-end host. Empty disables the global space.
 	CASSAddr string
 
+	// GlobalViaLASS routes the *Global operations through the LASS
+	// instead of a direct CASS connection: the LASS must have been
+	// started with an upstream CASS (a caching LASS — see
+	// attrspace.Server.EnableGlobalCache or tdp.ServeCachingLASS).
+	// Steady-state global reads are then answered from the LASS's
+	// subscription-invalidated cache in one local hop, and global
+	// writes keep read-your-writes through the same LASS. Mutually
+	// exclusive with CASSAddr.
+	GlobalViaLASS bool
+
 	// Dial opens connections to the attribute servers. Nil uses real
 	// TCP; experiments on the simulated network pass the host's Dial.
 	Dial attrspace.DialFunc
@@ -157,6 +167,9 @@ func Init(cfg Config) (*Handle, error) {
 	}
 	if cfg.Identity == "" {
 		cfg.Identity = "daemon"
+	}
+	if cfg.GlobalViaLASS && cfg.CASSAddr != "" {
+		return nil, errors.New("tdp: GlobalViaLASS and CASSAddr are mutually exclusive")
 	}
 	lass, err := attrspace.Dial(cfg.Dial, cfg.LASSAddr, cfg.Context)
 	if err != nil {
