@@ -1,6 +1,10 @@
 # Build and verification entry points. `make tier1` is the gate every
 # change must pass: vet + build + full test suite under the race
-# detector. `make fuzz` is a short native-fuzzing smoke run over the
+# detector + the seeded chaos suite. `make chaos` runs the fault-
+# injection tests (reconnecting sessions through the netsim chaos
+# transport) twice under the race detector with a pinned seed; vary
+# the seed with `make chaos TDP_CHAOS_SEED=7` to explore other fault
+# schedules. `make fuzz` is a short native-fuzzing smoke run over the
 # two parsers that face untrusted bytes (the wire decoder and the
 # ClassAd expression parser). `make bench` refreshes the committed
 # hot-path baseline (BENCH_attrspace.json); `make benchdiff` re-runs
@@ -18,11 +22,18 @@ GO ?= go
 # but excluded from the regression gate (GATE_EXCLUDE in benchdiff.sh).
 BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire|BenchmarkAttrSpaceManyContexts|BenchmarkGlobalGetCached|BenchmarkProxyRelay
 
-.PHONY: all tier1 vet build test race fuzz bench benchdiff
+# The chaos suite's fault-injection seed; pinned so CI runs are
+# reproducible and a failure's schedule can be replayed exactly.
+TDP_CHAOS_SEED ?= 1
+
+.PHONY: all tier1 vet build test race chaos fuzz bench benchdiff
 
 all: tier1
 
-tier1: vet build race
+tier1: vet build race chaos
+
+chaos:
+	TDP_CHAOS_SEED=$(TDP_CHAOS_SEED) $(GO) test ./internal/attrspace -run 'Chaos' -race -count=2
 
 vet:
 	$(GO) vet ./...

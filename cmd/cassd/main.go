@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"tdp/internal/attrspace"
 	"tdp/internal/telemetry"
@@ -29,6 +31,7 @@ func main() {
 	monitor := flag.Duration("monitor", 0, "self-publish metrics as tdp.monitor.cass.* at this interval (0 disables)")
 	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
 	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size; a CASS fanning out to many caching LASSes wants this large")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown bound: announce CLOSE to clients and finish in-flight replies for up to this long before closing (0 closes immediately)")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
@@ -50,5 +53,13 @@ func main() {
 	<-sig
 	snap := srv.Telemetry().Snapshot()
 	log.Printf("cassd: shutting down; final telemetry:\n%s", snap.Text())
-	srv.Close()
+	if *drainTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("cassd: drain cut short: %v", err)
+		}
+		cancel()
+	} else {
+		srv.Close()
+	}
 }

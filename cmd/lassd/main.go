@@ -22,10 +22,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"tdp/internal/attrspace"
 	"tdp/internal/telemetry"
@@ -39,6 +41,7 @@ func main() {
 	cassAddr := flag.String("cass", "", "upstream CASS address; enables the G* global verbs with a subscription-invalidated read cache")
 	cacheMax := flag.Int("cache-max", 0, "max cached global entries per context (0 = default 4096)")
 	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown bound: announce CLOSE to clients and finish in-flight replies for up to this long before closing (0 closes immediately)")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
@@ -64,5 +67,13 @@ func main() {
 	<-sig
 	snap := srv.Telemetry().Snapshot()
 	log.Printf("lassd: shutting down; final telemetry:\n%s", snap.Text())
-	srv.Close()
+	if *drainTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("lassd: drain cut short: %v", err)
+		}
+		cancel()
+	} else {
+		srv.Close()
+	}
 }

@@ -464,6 +464,35 @@ func (r *Ref) Snapshot() (map[string]string, error) {
 	return out, nil
 }
 
+// Versioned is a value paired with the seq of the write that produced
+// it, as returned by SnapshotSeq.
+type Versioned struct {
+	Value string
+	Seq   uint64
+}
+
+// SnapshotSeq returns a copy of every attribute together with the seq
+// of the write that produced it, plus the context's current sequence
+// number. A reconnecting mirror (attrspace.Session) diffs this against
+// its last-known per-attribute seqs to resynchronize after a gap:
+// entries with a newer seq are replayed, known attributes missing from
+// the snapshot were deleted while it was away, and the context seq
+// versions those synthetic deletions.
+func (r *Ref) SnapshotSeq() (map[string]Versioned, uint64, error) {
+	c, err := r.live()
+	if err != nil {
+		return nil, 0, err
+	}
+	sh := c.sh
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make(map[string]Versioned, len(c.attrs))
+	for k, e := range c.attrs {
+		out[k] = Versioned{Value: e.value, Seq: e.seq}
+	}
+	return out, c.seq, nil
+}
+
 // Len reports the number of attributes in the context.
 func (r *Ref) Len() (int, error) {
 	c, err := r.live()

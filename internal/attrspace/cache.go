@@ -273,7 +273,13 @@ func (cc *cacheCtx) teardown() {
 // surface as ev.Lost and flush the whole context.
 func (cc *cacheCtx) onEvent(ev Event) {
 	tel := cc.gc.srv.tel.Load()
-	if ev.Lost > 0 {
+	if ev.Lost > 0 || ev.Op == "resync" {
+		// Server-side ring drops and a session's reconnect gap marker
+		// mean the same thing here: events were (or may have been)
+		// missed, so the mirror can no longer be trusted. Flush; the
+		// session's snapshot replay (put/delete events tagged Resync)
+		// and demand fills then warm it back up with authoritative
+		// seqs through the switch below.
 		cc.mu.Lock()
 		if !cc.gone {
 			cc.entries = make(map[string]centry)

@@ -1,0 +1,412 @@
+package attrspace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"tdp/internal/attr"
+	"tdp/internal/netsim"
+)
+
+// chaosSeed returns the fault-injection seed: fixed by default so runs
+// are reproducible, overridable with TDP_CHAOS_SEED (the make chaos
+// target pins it explicitly).
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("TDP_CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad TDP_CHAOS_SEED %q: %v", v, err)
+		}
+		return n
+	}
+	return 1
+}
+
+// restartable is an attribute server that can be killed and rebound on
+// the same TCP address with its attribute space (and therefore context
+// seqs) intact — the shape of a daemon crash + supervisor restart.
+type restartable struct {
+	t     *testing.T
+	space *attr.Space
+	addr  string
+
+	mu  sync.Mutex
+	srv *Server
+}
+
+func newRestartable(t *testing.T) *restartable {
+	t.Helper()
+	r := &restartable{t: t, space: attr.NewSpace()}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	r.addr = l.Addr().String()
+	r.srv = NewServerWithSpace(r.space)
+	go r.srv.Serve(l)
+	t.Cleanup(func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.srv.Close()
+	})
+	return r
+}
+
+// kill closes the server abruptly (crash).
+func (r *restartable) kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.srv.Close()
+}
+
+// drain shuts the server down gracefully (CLOSE + in-flight replies).
+func (r *restartable) drain(timeout time.Duration) {
+	r.mu.Lock()
+	srv := r.srv
+	r.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	srv.Shutdown(ctx)
+}
+
+// restart rebinds a fresh server on the same address and space.
+func (r *restartable) restart() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var l net.Listener
+	var err error
+	for i := 0; i < 200; i++ {
+		l, err = net.Listen("tcp", r.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		r.t.Fatalf("rebind %s: %v", r.addr, err)
+	}
+	r.srv = NewServerWithSpace(r.space)
+	go r.srv.Serve(l)
+}
+
+// mirror consumes a subscribed session's event stream and maintains
+// the consumer-side picture, recording any violation of the
+// per-attribute monotonic-seq guarantee.
+type mirror struct {
+	mu         sync.Mutex
+	vals       map[string]string
+	seqs       map[string]uint64
+	resyncs    int
+	violations []string
+}
+
+func newMirror() *mirror {
+	return &mirror{vals: make(map[string]string), seqs: make(map[string]uint64)}
+}
+
+func (m *mirror) handle(ev Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ev.Op == "resync" {
+		m.resyncs++
+		return
+	}
+	if ev.Op == "destroy" {
+		m.vals = make(map[string]string)
+		m.seqs = make(map[string]uint64)
+		return
+	}
+	if ev.Seq != 0 {
+		// The guarantee is non-decreasing: a resync replay may repeat
+		// the newest seq it already delivered live, but never go back.
+		if last, ok := m.seqs[ev.Attr]; ok && ev.Seq < last {
+			m.violations = append(m.violations,
+				fmt.Sprintf("%s: seq %d after %d (op %s resync=%v)", ev.Attr, ev.Seq, last, ev.Op, ev.Resync))
+		}
+		m.seqs[ev.Attr] = ev.Seq
+	}
+	switch ev.Op {
+	case "put":
+		m.vals[ev.Attr] = ev.Value
+	case "delete":
+		delete(m.vals, ev.Attr)
+	}
+}
+
+func (m *mirror) snapshot() (map[string]string, int, []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]string, len(m.vals))
+	for k, v := range m.vals {
+		out[k] = v
+	}
+	viol := append([]string(nil), m.violations...)
+	return out, m.resyncs, viol
+}
+
+func sameMap(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosSessionConvergence is the acceptance-criteria run: a writer
+// and a subscribed watcher, both on reconnecting Sessions dialing
+// through the seeded fault injector, survive mid-frame cuts, a
+// partition, a crash restart, and a graceful drain restart (≥ 4
+// injected failures). At the end the watcher's mirror must equal the
+// server's authoritative state (no lost deletes), every delete the
+// writer issued must have stuck (zero lost destroys), and the watcher
+// must never have observed a per-attribute seq go backward.
+func TestChaosSessionConvergence(t *testing.T) {
+	seed := chaosSeed(t)
+	r := newRestartable(t)
+	// Pin the context open independently of client churn so its seq
+	// counter survives every disconnect.
+	keep := r.space.Join("chaos")
+	defer keep.Leave()
+
+	chaos := netsim.NewChaos(netsim.ChaosConfig{
+		Seed:          seed,
+		CutAfterBytes: 6 * 1024,
+		LatencyEvery:  13,
+		Latency:       time.Millisecond,
+	})
+	cfg := SessionConfig{
+		Dial:        chaos.Dial(TCPDial),
+		Addr:        r.addr,
+		Context:     "chaos",
+		Backoff:     Backoff{Initial: 5 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0.5},
+		MaxAttempts: -1, // partitions outlast any finite budget; never give up
+		ConnectWait: 5 * time.Second,
+		Seed:        seed,
+	}
+	writer := NewSession(cfg)
+	defer writer.Close()
+	watcher := NewSession(cfg)
+	defer watcher.Close()
+
+	m := newMirror()
+	watcher.SetEventHandler(m.handle)
+	if err := watcher.Subscribe(); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	expected := make(map[string]string)
+	opCtx := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(context.Background(), 5*time.Second)
+	}
+	put := func(a, v string) {
+		ctx, cancel := opCtx()
+		defer cancel()
+		if err := writer.PutCtx(ctx, a, v); err != nil {
+			t.Fatalf("PutCtx(%s): %v", a, err)
+		}
+		expected[a] = v
+	}
+	del := func(a string) {
+		ctx, cancel := opCtx()
+		defer cancel()
+		if err := writer.DeleteCtx(ctx, a); err != nil {
+			t.Fatalf("DeleteCtx(%s): %v", a, err)
+		}
+		delete(expected, a)
+	}
+
+	const rounds = 48
+	kills := 0
+	for round := 0; round < rounds; round++ {
+		a := fmt.Sprintf("a%d", rng.Intn(8))
+		put(a, fmt.Sprintf("v%d.%d", round, rng.Intn(1000)))
+		if rng.Intn(5) == 0 {
+			victim := fmt.Sprintf("a%d", rng.Intn(8))
+			del(victim)
+		}
+		// Injected failures at fixed rounds: the acceptance bar is
+		// surviving at least 3 kills/partitions in one run.
+		switch round {
+		case 10:
+			chaos.CutAll() // kill every live connection mid-stream
+			kills++
+		case 20:
+			chaos.Partition()
+			time.Sleep(60 * time.Millisecond)
+			chaos.Heal()
+			kills++
+		case 30:
+			r.kill() // daemon crash + supervisor restart
+			time.Sleep(20 * time.Millisecond)
+			r.restart()
+			kills++
+		case 40:
+			r.drain(200 * time.Millisecond) // graceful GOAWAY restart
+			r.restart()
+			kills++
+		}
+	}
+	if kills < 3 {
+		t.Fatalf("only %d failures injected; acceptance requires >= 3", kills)
+	}
+
+	// The byte-budget cutter must actually have torn frames.
+	if st := chaos.Stats(); st.Cuts < 3 {
+		t.Errorf("chaos cuts = %d, want >= 3 (stats %+v)", st.Cuts, st)
+	}
+
+	// Authoritative state: what the server's space really holds.
+	auth, _, err := keep.SnapshotSeq()
+	if err != nil {
+		t.Fatalf("authoritative snapshot: %v", err)
+	}
+	authVals := make(map[string]string, len(auth))
+	for k, v := range auth {
+		authVals[k] = v.Value
+	}
+	if !sameMap(authVals, expected) {
+		t.Fatalf("server state diverged from writer intent:\n server: %v\n expected: %v", authVals, expected)
+	}
+	// No lost destroys: every deleted attribute must be gone.
+	for k := range authVals {
+		if _, want := expected[k]; !want {
+			t.Errorf("deleted attribute %q still present on server", k)
+		}
+	}
+
+	// The watcher must converge to the authoritative state once its
+	// session resyncs.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, _, _ := m.snapshot()
+		if sameMap(got, authVals) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mirror never converged:\n mirror: %v\n server: %v", got, authVals)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_, resyncs, violations := m.snapshot()
+	if len(violations) > 0 {
+		t.Fatalf("per-attr seq went backward %d times: %v", len(violations), violations)
+	}
+	if resyncs == 0 {
+		t.Errorf("watcher saw no resync markers despite %d injected failures", kills)
+	}
+	if writer.GaveUp() || watcher.GaveUp() {
+		t.Fatalf("a session gave up (writer %v, watcher %v)", writer.GaveUp(), watcher.GaveUp())
+	}
+	reconnects, retries, _ := writer.Stats()
+	if reconnects == 0 && retries == 0 {
+		t.Errorf("writer session reports no reconnects and no retries — faults not exercised?")
+	}
+}
+
+// TestChaosMidFrameCut pins the injector's defining behavior: the
+// write that exhausts the byte budget emits a strict prefix and kills
+// the transport, which a raw Client reports as a retryable ErrConnLost
+// — never a silent success or a garbled server error.
+func TestChaosMidFrameCut(t *testing.T) {
+	_, addr := startServer(t)
+	chaos := netsim.NewChaos(netsim.ChaosConfig{Seed: chaosSeed(t), CutAfterBytes: 200})
+	c, err := Dial(chaos.Dial(TCPDial), addr, "cut")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	var lastErr error
+	for i := 0; i < 1000; i++ {
+		lastErr = c.Put("k"+strconv.Itoa(i), "some value long enough to burn budget quickly")
+		if lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("no failure after 1000 puts through a 200-byte budget")
+	}
+	if !IsRetryable(lastErr) {
+		t.Fatalf("cut surfaced as non-retryable error: %v", lastErr)
+	}
+	if st := chaos.Stats(); st.Cuts == 0 {
+		t.Errorf("stats show no cut: %+v", st)
+	}
+}
+
+// TestChaosRefuseListener covers the refuse-then-accept daemon: the
+// first dials are reset before HELLO completes, and a Session's
+// backoff rides through until the listener settles.
+func TestChaosRefuseListener(t *testing.T) {
+	srv := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(netsim.RefuseListener(l, 3))
+	t.Cleanup(srv.Close)
+
+	s := NewSession(SessionConfig{
+		Addr:        l.Addr().String(),
+		Context:     "refuse",
+		Backoff:     Backoff{Initial: 5 * time.Millisecond, Max: 50 * time.Millisecond, Factor: 2, Jitter: 0.5},
+		MaxAttempts: 20,
+		ConnectWait: 5 * time.Second,
+		DialTimeout: 250 * time.Millisecond,
+		Seed:        chaosSeed(t),
+	})
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.PutCtx(ctx, "k", "v"); err != nil {
+		t.Fatalf("PutCtx through refusing listener: %v", err)
+	}
+	if v, err := s.TryGet("k"); err != nil || v != "v" {
+		t.Fatalf("TryGet = %q, %v", v, err)
+	}
+}
+
+// TestChaosPartitionGivesUp verifies the bounded-attempts path: a
+// partition that outlives MaxAttempts turns the session terminal with
+// ErrSessionGaveUp, counted in session.gaveup.
+func TestChaosPartitionGivesUp(t *testing.T) {
+	_, addr := startServer(t)
+	chaos := netsim.NewChaos(netsim.ChaosConfig{Seed: chaosSeed(t)})
+	s := NewSession(SessionConfig{
+		Dial:        chaos.Dial(TCPDial),
+		Addr:        addr,
+		Context:     "part",
+		Backoff:     Backoff{Initial: time.Millisecond, Max: 5 * time.Millisecond, Factor: 2, Jitter: 0},
+		MaxAttempts: 4,
+		ConnectWait: 200 * time.Millisecond,
+		Seed:        chaosSeed(t),
+	})
+	defer s.Close()
+	if err := s.Put("k", "v"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	chaos.Partition() // cuts the live conn and refuses every redial
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.GaveUp() {
+		if time.Now().After(deadline) {
+			t.Fatal("session never gave up under a permanent partition")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Put("k2", "v2"); !errors.Is(err, ErrSessionGaveUp) {
+		t.Fatalf("post-give-up Put error = %v, want ErrSessionGaveUp", err)
+	}
+}

@@ -22,6 +22,19 @@ var ErrNotFound = attr.ErrNotFound
 // ErrClientClosed is returned for operations on a closed client.
 var ErrClientClosed = errors.New("attrspace: client closed")
 
+// ErrConnLost reports an operation cut short by a transport failure:
+// the connection died between the request and its reply (or while
+// sending it). Unlike a server ERROR, the operation's fate is unknown
+// — it may or may not have been applied — which is exactly the case a
+// Session's seq-guarded retry exists for.
+var ErrConnLost = errors.New("attrspace: connection lost")
+
+// ErrServerDraining reports that the server announced a graceful
+// shutdown (the CLOSE verb): in-flight replies were still delivered,
+// but no new operations are accepted on this connection. A Session
+// treats it like a connection loss and reconnects after backoff.
+var ErrServerDraining = errors.New("attrspace: server draining")
+
 // DialFunc opens a stream to an attribute space server. Real TCP uses
 // net.Dial("tcp", addr); the simulated network uses (*netsim.Host).Dial.
 type DialFunc func(addr string) (net.Conn, error)
@@ -40,6 +53,13 @@ type Event struct {
 	// A consumer mirroring the space — the LASS global cache — must
 	// treat any nonzero Lost as a gap and resynchronize.
 	Lost uint64
+	// Resync marks an event synthesized by a Session after a reconnect
+	// rather than pushed live by the server: either the bare gap marker
+	// (Op "resync", no Attr) emitted first, or a snapshot-diff replay
+	// ("put"/"delete") bringing the consumer's mirror back in step.
+	// Consumers holding derived state (the LASS global cache, monitors)
+	// must treat the marker as "events may have been missed here".
+	Resync bool
 }
 
 // KV is one attribute/value pair in a batched put; re-exported from
@@ -53,11 +73,12 @@ type Client struct {
 	wc  *wire.Conn
 	raw net.Conn
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[string]chan *wire.Message
-	closed  bool
-	err     error
+	mu       sync.Mutex
+	nextID   uint64
+	pending  map[string]chan *wire.Message
+	closed   bool
+	draining bool // server sent CLOSE; no new sends, replies still land
+	err      error
 
 	events  chan Event
 	handler func(Event) // when set, replaces the events channel
@@ -83,6 +104,15 @@ type Client struct {
 // context. Every Dial must be balanced by Close, which performs the
 // tdp_exit half of the context's reference counting.
 func Dial(dial DialFunc, addr, contextName string) (*Client, error) {
+	return DialCtx(context.Background(), dial, addr, contextName)
+}
+
+// DialCtx is Dial bounded by a context: a deadline or cancellation
+// covers the HELLO round trip, so a server that accepts connections
+// but never replies (hung, not dead) cannot wedge the caller. The
+// fault supervisor's service pings and the Session reconnect loop
+// depend on this bound.
+func DialCtx(ctx context.Context, dial DialFunc, addr, contextName string) (*Client, error) {
 	if dial == nil {
 		dial = TCPDial
 	}
@@ -97,7 +127,20 @@ func Dial(dial DialFunc, addr, contextName string) (*Client, error) {
 		events:  make(chan Event, 64),
 	}
 	go c.readLoop()
-	reply, err := c.call(context.Background(), "HELLO", wire.NewMessage("HELLO").Set("context", contextName))
+	if ctx.Done() != nil {
+		// Watchdog: a cancelled handshake closes the transport, which
+		// fails the read loop and errors the pending HELLO promptly.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				raw.Close()
+			case <-stop:
+			}
+		}()
+	}
+	reply, err := c.call(ctx, "HELLO", wire.NewMessage("HELLO").Set("context", contextName))
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("attrspace: hello: %w", err)
@@ -113,6 +156,15 @@ func (c *Client) readLoop() {
 	for {
 		m, err := c.wc.Recv()
 		if err != nil {
+			// A transport error after a CLOSE announcement is the
+			// drain completing, not an unexpected loss: report it as
+			// such so retrying callers classify it correctly.
+			c.mu.Lock()
+			draining := c.draining
+			c.mu.Unlock()
+			if draining {
+				err = ErrServerDraining
+			}
 			c.fail(err)
 			return
 		}
@@ -146,17 +198,44 @@ func (c *Client) readLoop() {
 			}
 			continue
 		}
+		if m.Verb == "CLOSE" {
+			// GOAWAY-style drain announcement: the server finishes the
+			// replies already in flight, then closes. Stop issuing new
+			// requests now; fail once the last pending reply lands (or
+			// immediately when nothing is outstanding).
+			c.mu.Lock()
+			c.draining = true
+			idle := len(c.pending) == 0
+			c.mu.Unlock()
+			if idle {
+				c.fail(ErrServerDraining)
+				return
+			}
+			continue
+		}
 		id := m.Get("id")
 		c.mu.Lock()
 		ch := c.pending[id]
 		delete(c.pending, id)
+		drained := c.draining && len(c.pending) == 0
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- m
 		}
+		if drained {
+			c.fail(ErrServerDraining)
+			return
+		}
 	}
 }
 
+// fail moves the client to its terminal state exactly once: every
+// pending reply slot receives a synthetic connection-error reply (the
+// "conn" tag distinguishes it from a real server ERROR, so callers see
+// ErrConnLost rather than a server fault), the event channel closes,
+// and the OnClose hook fires. It is called from the read loop on any
+// transport error, from send on a write error (a partial write corrupts
+// framing — the connection is unusable), and from Close.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.closed {
@@ -170,7 +249,7 @@ func (c *Client) fail(err error) {
 	onClose := c.onClose
 	c.mu.Unlock()
 	for id, ch := range pending {
-		ch <- wire.NewMessage("ERROR").Set("id", id).Set("error", err.Error())
+		ch <- wire.NewMessage("ERROR").Set("id", id).Set("error", err.Error()).Set("conn", "1")
 	}
 	close(c.events)
 	c.raw.Close()
@@ -194,9 +273,21 @@ func (c *Client) SetEventHandler(fn func(Event)) {
 
 // OnClose installs a hook invoked once when the client fails or is
 // closed, with the terminal error. Used by the LASS global cache to
-// tear down a cache context whose upstream died.
+// tear down a cache context whose upstream died, and by Session to
+// trigger reconnection. Installing the hook on an already-failed
+// client invokes it immediately (on the calling goroutine) — without
+// this, a client that dies between Dial and OnClose would never signal
+// anyone.
 func (c *Client) OnClose(fn func(error)) {
 	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if fn != nil {
+			fn(err)
+		}
+		return
+	}
 	c.onClose = fn
 	c.mu.Unlock()
 }
@@ -275,7 +366,12 @@ func (c *Client) call(ctx context.Context, verb string, m *wire.Message) (*wire.
 	}
 }
 
-// send registers a pending reply slot and transmits the request.
+// send registers a pending reply slot and transmits the request. A
+// write error is terminal for the whole connection, not just this
+// request: the frame may have left partially, so the stream's framing
+// can no longer be trusted, and a connection whose write half is dead
+// while its read half blocks would otherwise strand every other
+// pending reply forever. fail drains them all exactly once.
 func (c *Client) send(m *wire.Message) (chan *wire.Message, string, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -286,6 +382,10 @@ func (c *Client) send(m *wire.Message) (chan *wire.Message, string, error) {
 		}
 		return nil, "", err
 	}
+	if c.draining {
+		c.mu.Unlock()
+		return nil, "", ErrServerDraining
+	}
 	c.nextID++
 	id := strconv.FormatUint(c.nextID, 10)
 	ch := make(chan *wire.Message, 1)
@@ -293,10 +393,8 @@ func (c *Client) send(m *wire.Message) (chan *wire.Message, string, error) {
 	c.mu.Unlock()
 	m.Set("id", id)
 	if err := c.wc.Send(m); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, "", err
+		c.fail(err)
+		return nil, "", fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
 	return ch, id, nil
 }
@@ -307,9 +405,29 @@ func replyErr(reply *wire.Message) error {
 		if text == attr.ErrNotFound.Error() {
 			return ErrNotFound
 		}
+		if reply.Get("conn") == "1" {
+			// Synthetic reply injected by fail(): the transport died with
+			// the request in flight — retryable, unlike a server ERROR.
+			if text == ErrServerDraining.Error() {
+				return ErrServerDraining
+			}
+			return fmt.Errorf("%w: %s", ErrConnLost, text)
+		}
 		return errors.New("attrspace: server: " + text)
 	}
 	return nil
+}
+
+// IsRetryable reports whether err is a transport-level failure a
+// reconnecting caller may safely retry after re-establishing the
+// connection: the connection was lost, the client object is closed
+// (superseded by a newer one), or the server announced a drain. Server
+// application errors (including ErrNotFound) are not retryable — the
+// server saw the request and answered it.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrConnLost) ||
+		errors.Is(err, ErrClientClosed) ||
+		errors.Is(err, ErrServerDraining)
 }
 
 // Put stores attribute = value and waits for the acknowledgement,
@@ -609,6 +727,39 @@ func (c *Client) Snapshot() (map[string]string, error) {
 		return nil, err
 	}
 	return parseSnap(reply)
+}
+
+// Versioned is a value paired with the seq of the write that produced
+// it; re-exported from the attr engine so wire-level and in-process
+// versioned snapshots share a type.
+type Versioned = attr.Versioned
+
+// SnapshotSeq returns every attribute with the seq of the write that
+// produced it, plus the context's current sequence number (0 against a
+// server that predates versioned snapshots). It is the resync primitive:
+// a Session diffs the result against its last-known seqs after a
+// reconnect, so stale values never overwrite newer ones.
+func (c *Client) SnapshotSeq(ctx context.Context) (map[string]Versioned, uint64, error) {
+	reply, err := c.call(ctx, "SNAP", wire.NewMessage("SNAP").Set("seqs", "1"))
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := replyErr(reply); err != nil {
+		return nil, 0, err
+	}
+	n := reply.Int("n", 0)
+	out := make(map[string]Versioned, n)
+	for i := 0; i < n; i++ {
+		idx := strconv.Itoa(i)
+		k, ok := reply.Lookup("k" + idx)
+		if !ok {
+			return nil, 0, fmt.Errorf("attrspace: malformed snapshot reply")
+		}
+		seq, _ := strconv.ParseUint(reply.Get("s"+idx), 10, 64)
+		out[k] = Versioned{Value: reply.Get("v" + idx), Seq: seq}
+	}
+	ctxSeq, _ := strconv.ParseUint(reply.Get("seq"), 10, 64)
+	return out, ctxSeq, nil
 }
 
 // parseSnap decodes a SNAPV reply's k0/v0.. pairs.

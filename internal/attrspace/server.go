@@ -14,7 +14,8 @@
 //	  GET     id=<n> attr=<a>                blocking get, reply VALUE
 //	  TRYGET  id=<n> attr=<a>                non-blocking, VALUE or NOTFOUND
 //	  DELETE  id=<n> attr=<a>                remove, ack with OK
-//	  SNAP    id=<n>                         dump all attributes
+//	  SNAP    id=<n> [seqs=1]                dump all attributes; seqs=1
+//	                                         adds per-entry s<i> + context seq
 //	  SUB     id=<n>                         start event push, ack with OK
 //	  STATS   id=<n>                         dump daemon telemetry (no HELLO needed)
 //	  EXIT                                   leave context and disconnect
@@ -35,6 +36,8 @@
 //	  STATSV  id=<n> daemon=<name> json=<telemetry snapshot>
 //	  ERROR   id=<n> error=<text>
 //	  EVENT   attr=<a> value=<v> op=<put|delete|destroy> seq=<n> [lost=<d>]
+//	  CLOSE   reason=<r>                     GOAWAY: server draining; no new
+//	                                         requests, in-flight replies land
 //
 // Every reply carries the request id, so a client may keep many
 // blocking GETs outstanding on one connection — this is what makes the
@@ -126,6 +129,13 @@ type Server struct {
 	listener net.Listener
 	conns    map[*serverConn]struct{}
 	closed   bool
+	draining bool // Shutdown in progress; Serve exits cleanly
+
+	// inflight counts requests currently inside their synchronous
+	// dispatch (reply not yet written). Blocked GETs hand off to a
+	// goroutine and leave the count — a drain must not wait for a get
+	// that may block forever; closing the connection cancels it.
+	inflight atomic.Int64
 
 	// tel is the current telemetry bundle; never nil after NewServer.
 	tel    atomic.Pointer[telemetryHandles]
@@ -283,7 +293,7 @@ func (s *Server) Serve(l net.Listener) error {
 		c, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			closed := s.closed || s.draining
 			s.mu.Unlock()
 			if closed {
 				return nil
@@ -332,6 +342,50 @@ func (s *Server) Close() {
 	if gc := s.gcache.Load(); gc != nil {
 		gc.Close()
 	}
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, announces the drain to every connected client with a
+// GOAWAY-style CLOSE verb, waits for in-flight synchronous replies to
+// finish (bounded by ctx), then closes everything. Blocked GETs are not
+// waited for — they may block indefinitely by design — and are
+// cancelled by the final close, erroring their callers. Returns
+// ctx.Err() when the deadline cut the drain short, nil otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	l := s.listener
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		// Best effort: a peer that is already gone fails the send and
+		// will be reaped by its own read loop.
+		c.wc.Send(wire.NewMessage("CLOSE").Set("reason", "drain"))
+	}
+	var err error
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+		case <-tick.C:
+			continue
+		}
+		break
+	}
+	s.Close()
+	return err
 }
 
 func (s *Server) dropConn(c *serverConn) {
@@ -435,39 +489,56 @@ func (c *serverConn) run() {
 		if err := c.wc.RecvInto(m); err != nil {
 			return // disconnect
 		}
-		switch m.Verb {
-		case "HELLO":
-			done := srv.observe("hello")
-			name := m.Get("context")
-			c.mu.Lock()
-			already := c.ref != nil
-			if !already {
-				c.ref = srv.space.Join(name)
-			}
-			c.mu.Unlock()
-			if already {
-				c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).Set("error", "already joined"))
-				done()
-				continue
-			}
-			c.reply(wire.NewMessage("OK").Set("id", m.Get("id")))
-			done()
-		case "EXIT":
+		// The inflight window covers only the synchronous part of the
+		// dispatch: once dispatch returns, any still-pending reply
+		// belongs to a blocked GET goroutine, which a drain deliberately
+		// does not wait for.
+		srv.inflight.Add(1)
+		exit := c.dispatch(ctx, m)
+		srv.inflight.Add(-1)
+		if exit {
 			return
-		case "STATS":
-			// STATS needs no context: it reports on the daemon, not on
-			// any attribute space, so monitoring tools can probe a
-			// server without joining (and without bumping refcounts).
-			c.handleStats(m)
-		case "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
-			c.handleOp(ctx, m)
-		case "GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP":
-			c.handleGlobal(ctx, m)
-		default:
-			c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).
-				Set("error", fmt.Sprintf("unknown verb %q", m.Verb)))
 		}
 	}
+}
+
+// dispatch handles one request; it returns true when the connection
+// should end (EXIT).
+func (c *serverConn) dispatch(ctx context.Context, m *wire.Message) bool {
+	srv := c.srv
+	switch m.Verb {
+	case "HELLO":
+		done := srv.observe("hello")
+		name := m.Get("context")
+		c.mu.Lock()
+		already := c.ref != nil
+		if !already {
+			c.ref = srv.space.Join(name)
+		}
+		c.mu.Unlock()
+		if already {
+			c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).Set("error", "already joined"))
+			done()
+			return false
+		}
+		c.reply(wire.NewMessage("OK").Set("id", m.Get("id")))
+		done()
+	case "EXIT":
+		return true
+	case "STATS":
+		// STATS needs no context: it reports on the daemon, not on
+		// any attribute space, so monitoring tools can probe a
+		// server without joining (and without bumping refcounts).
+		c.handleStats(m)
+	case "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
+		c.handleOp(ctx, m)
+	case "GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP":
+		c.handleGlobal(ctx, m)
+	default:
+		c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).
+			Set("error", fmt.Sprintf("unknown verb %q", m.Verb)))
+	}
+	return false
 }
 
 // startSpan opens this daemon's span for a request when the caller
@@ -592,6 +663,30 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
 		finish()
 	case "SNAP":
+		// seqs=1 asks for the versioned form: each entry carries its
+		// write seq (s<i>) and the reply carries the context seq, which
+		// is what a reconnecting session needs to resync without letting
+		// a stale snapshot value clobber a newer live event.
+		if m.Get("seqs") == "1" {
+			snap, ctxSeq, err := ref.SnapshotSeq()
+			if err != nil {
+				c.replyErr(id, err)
+				finish()
+				return
+			}
+			reply := wire.NewMessage("SNAPV").Set("id", id).SetInt("n", len(snap)).
+				Set("seq", strconv.FormatUint(ctxSeq, 10))
+			i := 0
+			for k, v := range snap {
+				reply.Set("k"+strconv.Itoa(i), k)
+				reply.Set("v"+strconv.Itoa(i), v.Value)
+				reply.Set("s"+strconv.Itoa(i), strconv.FormatUint(v.Seq, 10))
+				i++
+			}
+			c.reply(reply)
+			finish()
+			return
+		}
 		snap, err := ref.Snapshot()
 		if err != nil {
 			c.replyErr(id, err)

@@ -16,6 +16,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -295,15 +296,34 @@ func (s *Supervisor) Close() {
 	s.wg.Wait()
 }
 
+// DefaultPingTimeout bounds one attribute-server ping (dial + HELLO +
+// PUT). Hung daemons — accepting connections but never replying — are
+// indistinguishable from healthy ones without it.
+const DefaultPingTimeout = 2 * time.Second
+
 // PingAttrSpace returns a ping function for an attribute space server:
-// it dials, joins a probe context, performs one put, and disconnects.
+// it dials, joins a probe context, performs one put, and disconnects,
+// all bounded by DefaultPingTimeout.
 func PingAttrSpace(dial attrspace.DialFunc, addr string) func() error {
+	return PingAttrSpaceTimeout(dial, addr, DefaultPingTimeout)
+}
+
+// PingAttrSpaceTimeout is PingAttrSpace with an explicit bound on the
+// whole probe. The timeout is what turns a hung server (accepts, never
+// replies — a deadlocked daemon, not a dead one) into a detectable
+// fault rather than a stuck supervisor goroutine.
+func PingAttrSpaceTimeout(dial attrspace.DialFunc, addr string, timeout time.Duration) func() error {
+	if timeout <= 0 {
+		timeout = DefaultPingTimeout
+	}
 	return func() error {
-		c, err := attrspace.Dial(dial, addr, "fault-probe")
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		c, err := attrspace.DialCtx(ctx, dial, addr, "fault-probe")
 		if err != nil {
 			return err
 		}
 		defer c.Close()
-		return c.Put("ping", "1")
+		return c.PutCtx(ctx, "ping", "1")
 	}
 }

@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hungListener accepts connections and never replies — the shape of a
+// deadlocked daemon: alive at the TCP layer, dead at the protocol
+// layer. Accepted connections are held open (not closed) so the client
+// sees neither a reset nor an answer.
+func hungListener(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var mu sync.Mutex
+	var held []net.Conn
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, c)
+			mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		l.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	})
+	return l.Addr().String()
+}
+
+// TestDetectHungAttributeServer: a daemon that accepts but never
+// replies must surface as an AS fault via the ping timeout — without
+// the bound the HELLO round trip would block the supervisor's poller
+// forever and the hang would be undetectable.
+func TestDetectHungAttributeServer(t *testing.T) {
+	addr := hungListener(t)
+	_, s := newSupervisorT(t)
+	s.WatchService("lass", 10*time.Millisecond,
+		PingAttrSpaceTimeout(nil, addr, 150*time.Millisecond))
+	f := waitFault(t, s)
+	if f.Role != RoleAux || f.Name != "lass" {
+		t.Errorf("fault = %+v, want AS lass", f)
+	}
+	if f.Err == nil {
+		t.Error("hang fault carries no error")
+	}
+}
+
+// TestPingTimeoutZeroDefaults: a non-positive timeout falls back to
+// DefaultPingTimeout rather than producing an unbounded probe.
+func TestPingTimeoutZeroDefaults(t *testing.T) {
+	addr := hungListener(t)
+	start := time.Now()
+	err := PingAttrSpaceTimeout(nil, addr, -1)()
+	if err == nil {
+		t.Fatal("ping against a hung server returned nil")
+	}
+	if d := time.Since(start); d > DefaultPingTimeout+2*time.Second {
+		t.Errorf("ping took %v, want ~DefaultPingTimeout (%v)", d, DefaultPingTimeout)
+	}
+}

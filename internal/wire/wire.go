@@ -76,18 +76,19 @@ func init() {
 		// Attribute space verbs (requests and replies).
 		"HELLO", "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB",
 		"STATS", "EXIT", "OK", "VALUE", "NOTFOUND", "SNAPV", "STATSV",
-		"ERROR", "EVENT",
+		"ERROR", "EVENT", "CLOSE",
 		// Global-forwarding verbs (LASS → CASS relay).
 		"GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP",
 		// Common field keys.
 		"id", "attr", "value", "context", "error", "daemon", "json",
-		"n", "seq", "op", "who", "lost",
+		"n", "seq", "op", "who", "lost", "seqs", "reason", "conn",
 		FieldTraceID, FieldSpanID,
 	}
-	// Batched put / snapshot field keys k0..k31, v0..v31; larger
+	// Batched put / snapshot field keys k0..k31, v0..v31 (plus the
+	// per-entry seq keys s0..s31 of a versioned snapshot); larger
 	// batches fall back to ordinary string conversion.
 	for i := 0; i < 32; i++ {
-		words = append(words, "k"+strconv.Itoa(i), "v"+strconv.Itoa(i))
+		words = append(words, "k"+strconv.Itoa(i), "v"+strconv.Itoa(i), "s"+strconv.Itoa(i))
 	}
 	for _, w := range words {
 		interned[w] = w

@@ -93,6 +93,17 @@ func (h *Handle) WaitStatus(ctx context.Context, wantPrefix string) (string, err
 			if !ok {
 				return "", ErrClosed
 			}
+			if ev.Resync && ev.Op == "resync" {
+				// Reconnect gap marker (Config.Resilient): transitions
+				// may have been missed, and the replay that follows
+				// carries only the latest value per attribute — so ask
+				// for the current status directly rather than waiting
+				// for an event that may never be re-sent.
+				if v, err := h.TryGet(AttrStatus); err == nil && hasPrefix(v, wantPrefix) {
+					return v, nil
+				}
+				continue
+			}
 			if ev.Attr == AttrStatus && ev.Op == "put" && hasPrefix(ev.Value, wantPrefix) {
 				return ev.Value, nil
 			}

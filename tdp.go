@@ -36,9 +36,11 @@
 package tdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tdp/internal/attrspace"
 	"tdp/internal/events"
@@ -119,6 +121,19 @@ type Config struct {
 	// TCP; experiments on the simulated network pass the host's Dial.
 	Dial attrspace.DialFunc
 
+	// Resilient wraps each attribute space connection in an
+	// attrspace.Session: a LASS/CASS restart or network blip is
+	// absorbed by reconnecting with backoff, retrying the interrupted
+	// operation, replaying the subscription, and resynchronizing the
+	// event stream — instead of failing every call until the daemon
+	// re-runs tdp_init. See DESIGN.md §10.
+	Resilient bool
+
+	// Backoff tunes the Resilient reconnect schedule; the zero value
+	// uses attrspace.DefaultBackoff (which honors the
+	// TDP_RETRY_INITIAL / TDP_RETRY_MAX env knobs).
+	Backoff attrspace.Backoff
+
 	// Kernel is the process substrate for CreateProcess/Attach. A
 	// daemon that only exchanges attributes (e.g. a tool front-end)
 	// may leave it nil.
@@ -147,8 +162,8 @@ type Config struct {
 // subsequent TDP action. It is safe for concurrent use.
 type Handle struct {
 	cfg   Config
-	lass  *attrspace.Client
-	cass  *attrspace.Client
+	lass  attrspace.API
+	cass  attrspace.API
 	queue *events.Queue
 
 	mu       sync.Mutex
@@ -171,14 +186,14 @@ func Init(cfg Config) (*Handle, error) {
 	if cfg.GlobalViaLASS && cfg.CASSAddr != "" {
 		return nil, errors.New("tdp: GlobalViaLASS and CASSAddr are mutually exclusive")
 	}
-	lass, err := attrspace.Dial(cfg.Dial, cfg.LASSAddr, cfg.Context)
+	lass, err := dialSpace(cfg, cfg.LASSAddr)
 	if err != nil {
 		return nil, fmt.Errorf("tdp: init: LASS: %w", err)
 	}
 	lass.SetTelemetry(cfg.Telemetry, cfg.Tracer)
-	var cass *attrspace.Client
+	var cass attrspace.API
 	if cfg.CASSAddr != "" {
-		cass, err = attrspace.Dial(cfg.Dial, cfg.CASSAddr, cfg.Context)
+		cass, err = dialSpace(cfg, cfg.CASSAddr)
 		if err != nil {
 			lass.Close()
 			return nil, fmt.Errorf("tdp: init: CASS: %w", err)
@@ -188,6 +203,32 @@ func Init(cfg Config) (*Handle, error) {
 	h := &Handle{cfg: cfg, lass: lass, cass: cass, queue: events.NewQueue()}
 	h.traceStep("tdp_init", "context="+cfg.Context)
 	return h, nil
+}
+
+// dialSpace opens one attribute space connection per the Config: a
+// plain Client normally, a reconnecting Session when Resilient. The
+// Session connects in the background, so Init still waits for (and
+// reports) the first connection — a missing daemon fails tdp_init
+// either way; Resilient changes what happens when a daemon dies later.
+func dialSpace(cfg Config, addr string) (attrspace.API, error) {
+	if !cfg.Resilient {
+		return attrspace.Dial(cfg.Dial, addr, cfg.Context)
+	}
+	s := attrspace.NewSession(attrspace.SessionConfig{
+		Dial:     cfg.Dial,
+		Addr:     addr,
+		Context:  cfg.Context,
+		Backoff:  cfg.Backoff,
+		Registry: cfg.Telemetry,
+		Tracer:   cfg.Tracer,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // Exit disengages from the TDP library and the attribute space. When
