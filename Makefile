@@ -20,7 +20,7 @@ GO ?= go
 # machines, which would make the benchdiff gate flaky. The scaling
 # benchmarks are contention/network shaped too, so they are recorded
 # but excluded from the regression gate (GATE_EXCLUDE in benchdiff.sh).
-BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire|BenchmarkAttrSpaceManyContexts|BenchmarkGlobalGetCached|BenchmarkProxyRelay
+BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire|BenchmarkAttrSpaceManyContexts|BenchmarkGlobalGetCached|BenchmarkProxyRelay|BenchmarkMRNetFanIn
 
 # The chaos suite's fault-injection seed; pinned so CI runs are
 # reproducible and a failure's schedule can be replayed exactly.

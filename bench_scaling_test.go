@@ -164,6 +164,86 @@ func BenchmarkToolFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkMRNetFanIn measures telemetry-stream fan-in: N daemons each
+// publish one TSAMPLE round and the observability plane absorbs it —
+// directly into the front-end, or through a 2- or 3-level reduction
+// tree whose in-tree filters collapse the per-daemon streams so the
+// front-end socket loop's message rate is independent of N (E16).
+func BenchmarkMRNetFanIn(b *testing.B) {
+	const daemons = 64
+	run := func(b *testing.B, levels int) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fe, err := paradyn.NewFrontEnd(paradyn.FrontEndConfig{Listener: l, AutoRun: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fe.Close()
+
+		addrs := make([]string, daemons)
+		if levels == 0 {
+			for i := range addrs {
+				addrs[i] = fe.Addr()
+			}
+		} else {
+			tree, err := mrnet.BuildReductionTree(mrnet.TreeConfig{
+				ParentAddr:    fe.Addr(),
+				Daemons:       daemons,
+				FanOut:        8,
+				Levels:        levels,
+				FlushInterval: time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tree.Close()
+			leaves := tree.LeafAddrs()
+			for i := range addrs {
+				addrs[i] = leaves[i%len(leaves)]
+			}
+		}
+
+		conns := make([]*wire.Conn, daemons)
+		for i := range conns {
+			raw, err := net.Dial("tcp", addrs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer raw.Close()
+			wc := wire.NewConn(raw)
+			if err := wc.Send(wire.NewMessage("REGISTER").
+				Set("daemon", fmt.Sprintf("d%d", i)).Set("host", fmt.Sprintf("h%d", i))); err != nil {
+				b.Fatal(err)
+			}
+			conns[i] = wc
+		}
+		for i, wc := range conns {
+			if m, err := wc.Recv(); err != nil || m.Verb != "RUN" {
+				b.Fatalf("RUN handshake for daemon %d: %v %v", i, m, err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, wc := range conns {
+				ts := wire.TelemetrySample{Kind: wire.KindCounter, Name: "app.ops", Value: int64(i + 1)}
+				m, err := ts.Message()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := wc.Send(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(daemons), "tsamples/op")
+	}
+	b.Run(fmt.Sprintf("direct/daemons=%d", daemons), func(b *testing.B) { run(b, 0) })
+	b.Run(fmt.Sprintf("tree2/daemons=%d", daemons), func(b *testing.B) { run(b, 2) })
+	b.Run(fmt.Sprintf("tree3/daemons=%d", daemons), func(b *testing.B) { run(b, 3) })
+}
+
 // BenchmarkRMKitLaunch measures the bare TDP launch adapter without
 // any pool machinery: the floor cost any RM pays.
 func BenchmarkRMKitLaunch(b *testing.B) {

@@ -6,11 +6,14 @@
 //
 // Like lassd it answers the STATS verb from its telemetry registry
 // (`tdpattr stats`) and can self-publish tdp.monitor.cass.* attributes.
+// -debug-addr additionally serves pprof profiles and the registry as
+// /metrics (Prometheus exposition) and /stats.json over HTTP.
 //
 // Usage:
 //
 //	cassd [-addr host:port] [-loglevel debug|info|error|silent]
 //	      [-monitor 5s] [-monitor-context name] [-event-buffer n]
+//	      [-debug-addr host:port]
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"tdp/internal/attrspace"
+	"tdp/internal/debughttp"
 	"tdp/internal/telemetry"
 )
 
@@ -32,6 +36,7 @@ func main() {
 	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
 	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size; a CASS fanning out to many caching LASSes wants this large")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown bound: announce CLOSE to clients and finish in-flight replies for up to this long before closing (0 closes immediately)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics, and /stats.json over HTTP on this address (empty disables)")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
@@ -43,6 +48,16 @@ func main() {
 		log.Fatalf("cassd: %v", err)
 	}
 	log.Printf("cassd: serving central attribute space on %s", bound)
+	if *debugAddr != "" {
+		dbg, stopDbg, err := debughttp.Serve(*debugAddr, func() telemetry.Snapshot {
+			return srv.Telemetry().Snapshot()
+		})
+		if err != nil {
+			log.Fatalf("cassd: %v", err)
+		}
+		defer stopDbg()
+		log.Printf("cassd: debug endpoint on http://%s", dbg)
+	}
 	if *monitor > 0 {
 		stop := srv.StartMonitorPublisher(*monitorCtx, "cass", *monitor)
 		defer stop()

@@ -14,11 +14,15 @@
 // the per-subscriber fan-out ring (larger absorbs bigger bursts before
 // the coalesce/drop overflow policy engages).
 //
+// -debug-addr additionally serves pprof profiles and the registry as
+// /metrics (Prometheus exposition) and /stats.json over HTTP.
+//
 // Usage:
 //
 //	lassd [-addr host:port] [-loglevel debug|info|error|silent]
 //	      [-monitor 5s] [-monitor-context name]
 //	      [-cass host:port] [-cache-max n] [-event-buffer n]
+//	      [-debug-addr host:port]
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"tdp/internal/attrspace"
+	"tdp/internal/debughttp"
 	"tdp/internal/telemetry"
 )
 
@@ -42,6 +47,7 @@ func main() {
 	cacheMax := flag.Int("cache-max", 0, "max cached global entries per context (0 = default 4096)")
 	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown bound: announce CLOSE to clients and finish in-flight replies for up to this long before closing (0 closes immediately)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics, and /stats.json over HTTP on this address (empty disables)")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
@@ -57,6 +63,16 @@ func main() {
 		log.Fatalf("lassd: %v", err)
 	}
 	log.Printf("lassd: serving attribute space on %s", bound)
+	if *debugAddr != "" {
+		dbg, stopDbg, err := debughttp.Serve(*debugAddr, func() telemetry.Snapshot {
+			return srv.Telemetry().Snapshot()
+		})
+		if err != nil {
+			log.Fatalf("lassd: %v", err)
+		}
+		defer stopDbg()
+		log.Printf("lassd: debug endpoint on http://%s", dbg)
+	}
 	if *monitor > 0 {
 		stop := srv.StartMonitorPublisher(*monitorCtx, "lass", *monitor)
 		defer stop()

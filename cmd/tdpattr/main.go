@@ -12,6 +12,7 @@
 //	tdpattr -server host:port -context job-1 watch          # stream events
 //	tdpattr -server host:port -context job-1 hold           # pin the context
 //	tdpattr -server host:port stats                         # dump server telemetry
+//	tdpattr -server host:port -scope tree stats             # rolled-up subtree telemetry
 //
 // Contexts are reference counted (§3.2): a context is destroyed when
 // its last participant exits, and each tdpattr invocation is a full
@@ -36,6 +37,7 @@ func main() {
 	server := flag.String("server", "127.0.0.1:4510", "attribute space server address")
 	ctxName := flag.String("context", "default", "attribute space context")
 	timeout := flag.Duration("timeout", 30*time.Second, "blocking operation timeout")
+	scope := flag.String("scope", "", `stats scope: "tree" merges the daemon's children (mrnet subtree rollup)`)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -108,7 +110,7 @@ func main() {
 	case "stats":
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
-		daemon, snap, err := c.ServerStats(ctx)
+		daemon, snap, err := c.ServerStatsScope(ctx, *scope)
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tdp/internal/telemetry"
+)
+
+func TestRenderPoolView(t *testing.T) {
+	prev := telemetry.Snapshot{
+		Counters: map[string]int64{
+			"paradyn.samples.sent": 1000,
+			"mrnet.stream.updates": 400,
+		},
+	}
+	h := telemetry.NewHistogram([]float64{1, 10, 100})
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	cur := telemetry.Snapshot{
+		Counters: map[string]int64{
+			"paradyn.samples.sent":   1500,
+			"mrnet.stream.updates":   600,
+			"mrnet.stream.coalesced": 12,
+			"mrnet.stream.lost":      3,
+			"mrnet.tree.daemons":     256,
+			"mrnet.hosts.down":       2,
+		},
+		Gauges: map[string]int64{
+			"mrnet.tree.depth":   3,
+			"mrnet.stream.depth": 17,
+		},
+		Histograms: map[string]telemetry.HistogramSnapshot{
+			"paradyn.sample.batch_us": h.Snapshot(),
+		},
+	}
+
+	var b strings.Builder
+	render(&b, "mrnet-root", prev, cur, 2*time.Second)
+	out := b.String()
+
+	for _, want := range []string{
+		"tdptop — mrnet-root",
+		"hosts 256 (2 down)",
+		"tree depth 3",
+		"samples 250/s",  // (1500-1000)/2s
+		"tsamples 100/s", // (600-400)/2s
+		"queue 17",
+		"lost 3",
+		"coalesced 12",
+		"paradyn.sample.batch_us",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// The histogram row carries count and quantiles.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "batch_us") {
+			if !strings.Contains(line, "100") {
+				t.Errorf("hist row missing count: %q", line)
+			}
+		}
+	}
+}
+
+func TestRenderFirstFrameNoRates(t *testing.T) {
+	cur := telemetry.Snapshot{Counters: map[string]int64{"paradyn.samples.sent": 500}}
+	var b strings.Builder
+	// elapsed 0 = first frame: rates must render as 0, not NaN/Inf.
+	render(&b, "lassd", telemetry.Snapshot{}, cur, 0)
+	out := b.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("first frame rendered NaN/Inf:\n%s", out)
+	}
+	if !strings.Contains(out, "samples 0/s") {
+		t.Errorf("first frame rate not zeroed:\n%s", out)
+	}
+	if !strings.Contains(out, "paradyn.samples.sent") || !strings.Contains(out, "500") {
+		t.Errorf("counter table missing:\n%s", out)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if got := clip("short", 10); got != "short" {
+		t.Errorf("clip(short) = %q", got)
+	}
+	long := "very.long.metric.name.with.many.segments"
+	got := clip(long, 12)
+	if !strings.HasPrefix(got, "…") || !strings.HasSuffix(got, "segments") {
+		t.Errorf("clip(long) = %q", got)
+	}
+}

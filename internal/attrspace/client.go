@@ -706,7 +706,19 @@ func (c *Client) DeleteCtx(ctx context.Context, attribute string) error {
 // the server reports itself as. STATS needs no joined context, and
 // any client — tdpattr included — may issue it.
 func (c *Client) ServerStats(ctx context.Context) (daemon string, snap telemetry.Snapshot, err error) {
-	reply, err := c.call(ctx, "STATS", wire.NewMessage("STATS"))
+	return c.ServerStatsScope(ctx, "")
+}
+
+// ServerStatsScope is ServerStats with an explicit scope. Scope
+// "tree" asks the daemon to merge its children's snapshots (see
+// Server.SetStatsChildren) into the reply — one request for a whole
+// subtree's telemetry. An empty scope behaves like ServerStats.
+func (c *Client) ServerStatsScope(ctx context.Context, scope string) (daemon string, snap telemetry.Snapshot, err error) {
+	req := wire.NewMessage("STATS")
+	if scope != "" {
+		req.Set("scope", scope)
+	}
+	reply, err := c.call(ctx, "STATS", req)
 	if err != nil {
 		return "", telemetry.Snapshot{}, err
 	}

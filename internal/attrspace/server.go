@@ -17,7 +17,8 @@
 //	  SNAP    id=<n> [seqs=1]                dump all attributes; seqs=1
 //	                                         adds per-entry s<i> + context seq
 //	  SUB     id=<n>                         start event push, ack with OK
-//	  STATS   id=<n>                         dump daemon telemetry (no HELLO needed)
+//	  STATS   id=<n> [scope=tree]            dump daemon telemetry (no HELLO needed);
+//	                                         scope=tree merges in child snapshots
 //	  EXIT                                   leave context and disconnect
 //
 //	client → LASS (global forwarding; LASS relays to its CASS):
@@ -141,6 +142,10 @@ type Server struct {
 	tel    atomic.Pointer[telemetryHandles]
 	logger atomic.Pointer[telemetry.Logger]
 
+	// statsKids, when set, supplies child snapshots folded into a
+	// `STATS scope=tree` reply. See SetStatsChildren.
+	statsKids atomic.Pointer[func() []telemetry.Snapshot]
+
 	// evBuf sizes the fan-out ring + delivery channel of subscriptions
 	// created by SUB; see SetEventBuffer.
 	evBuf atomic.Int32
@@ -220,6 +225,21 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer)
 		h.tracer = tracer
 	}
 	s.tel.Store(h)
+}
+
+// SetStatsChildren installs a callback that supplies the telemetry
+// snapshots of this daemon's children (e.g. the aggregated subtree of
+// an mrnet reduction root, or downstream LASSes known to a CASS). A
+// `STATS scope=tree` request merges them with the daemon's own
+// registry — counters sum, gauges take the maximum, histograms merge —
+// so one request yields the whole subtree's picture. Nil uninstalls;
+// plain STATS is unaffected.
+func (s *Server) SetStatsChildren(fn func() []telemetry.Snapshot) {
+	if fn == nil {
+		s.statsKids.Store(nil)
+		return
+	}
+	s.statsKids.Store(&fn)
 }
 
 // Telemetry returns the server's metrics registry.
@@ -557,7 +577,13 @@ func (c *serverConn) handleStats(m *wire.Message) {
 	done := srv.observe("stats")
 	sp := c.startSpan(m)
 	tel := srv.tel.Load()
-	data, err := json.Marshal(tel.reg.Snapshot())
+	snap := tel.reg.Snapshot()
+	if m.Get("scope") == "tree" {
+		if fn := srv.statsKids.Load(); fn != nil {
+			snap = telemetry.MergeSnapshots(append([]telemetry.Snapshot{snap}, (*fn)()...)...)
+		}
+	}
+	data, err := json.Marshal(snap)
 	if err != nil {
 		c.replyErr(m.Get("id"), err)
 	} else {

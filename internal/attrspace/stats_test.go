@@ -65,6 +65,75 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStatsScopeTree: with SetStatsChildren installed, STATS
+// scope=tree merges child snapshots into the daemon's own — counters
+// sum, gauges max, histograms merge — while plain STATS stays local.
+func TestStatsScopeTree(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.SetTelemetry(nil, telemetry.NewTracer("cass-root"))
+
+	childHist := telemetry.NewHistogram([]float64{1, 10})
+	childHist.Observe(5)
+	srv.SetStatsChildren(func() []telemetry.Snapshot {
+		return []telemetry.Snapshot{
+			{
+				Counters: map[string]int64{"paradyn.samples.sent": 40},
+				Gauges:   map[string]int64{"mrnet.stream.depth": 3},
+			},
+			{
+				Counters:   map[string]int64{"paradyn.samples.sent": 2},
+				Gauges:     map[string]int64{"mrnet.stream.depth": 7},
+				Histograms: map[string]telemetry.HistogramSnapshot{"lat": childHist.Snapshot()},
+			},
+		}
+	})
+
+	c := dialT(t, addr, "job")
+	if err := c.Put("pid", "1"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	daemon, tree, err := c.ServerStatsScope(context.Background(), "tree")
+	if err != nil {
+		t.Fatalf("ServerStatsScope: %v", err)
+	}
+	if daemon != "cass-root" {
+		t.Errorf("daemon = %q", daemon)
+	}
+	if got := tree.Counters["paradyn.samples.sent"]; got != 42 {
+		t.Errorf("tree counter = %d, want 42 (children summed)", got)
+	}
+	if got := tree.Gauges["mrnet.stream.depth"]; got != 7 {
+		t.Errorf("tree gauge = %d, want 7 (max across children)", got)
+	}
+	if h := tree.Histograms["lat"]; h.Count != 1 {
+		t.Errorf("tree hist = %+v, want the child's observation", h)
+	}
+	// The daemon's own registry is in there too.
+	if tree.Counters["attrspace.ops.put"] == 0 {
+		t.Error("tree snapshot lost the daemon's own counters")
+	}
+
+	// Plain STATS is unaffected by the installed children.
+	_, own, err := c.ServerStats(context.Background())
+	if err != nil {
+		t.Fatalf("ServerStats: %v", err)
+	}
+	if _, ok := own.Counters["paradyn.samples.sent"]; ok {
+		t.Error("plain STATS merged children")
+	}
+
+	// Uninstall: scope=tree degrades to the local snapshot.
+	srv.SetStatsChildren(nil)
+	_, local, err := c.ServerStatsScope(context.Background(), "tree")
+	if err != nil {
+		t.Fatalf("ServerStatsScope after uninstall: %v", err)
+	}
+	if _, ok := local.Counters["paradyn.samples.sent"]; ok {
+		t.Error("uninstalled children still merged")
+	}
+}
+
 // TestStatsNeedsNoHello: a monitoring client may probe a server
 // without joining any context (and without bumping refcounts).
 func TestStatsNeedsNoHello(t *testing.T) {

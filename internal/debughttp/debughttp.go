@@ -1,0 +1,64 @@
+// Package debughttp serves a daemon's operational introspection
+// surface over HTTP: Go pprof profiles plus the telemetry registry in
+// both JSON and Prometheus exposition form. Daemons (lassd, cassd)
+// enable it with -debug-addr; it is strictly read-only and separate
+// from the attribute-space wire port, so a scrape or profile can never
+// interfere with protocol traffic.
+//
+// Endpoints:
+//
+//	/               index listing the endpoints
+//	/metrics        telemetry snapshot, Prometheus exposition format
+//	/stats.json     telemetry snapshot as JSON (what STATSV carries)
+//	/debug/pprof/*  the standard Go profiles
+package debughttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"tdp/internal/telemetry"
+)
+
+// Handler returns the debug mux for a daemon whose current telemetry
+// is produced by snap. Pass the tree-scope snapshot function to expose
+// a rolled-up subtree instead of one daemon.
+func Handler(snap func() telemetry.Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "tdp debug endpoint\n\n/metrics\n/stats.json\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, snap().Text())
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(snap())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr (host:0 picks a port) and serves the debug
+// surface until stop is called. It returns the bound address.
+func Serve(addr string, snap func() telemetry.Snapshot) (bound string, stop func(), err error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("debughttp: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(snap)}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close() }, nil
+}

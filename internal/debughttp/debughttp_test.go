@@ -1,0 +1,58 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tdp/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("attrspace.ops.put").Add(7)
+	reg.Histogram("attrspace.latency.put", nil).Observe(3)
+
+	bound, stop, err := Serve("127.0.0.1:0", reg.Snapshot)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer stop()
+	base := "http://" + bound
+
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "attrspace.ops.put 7") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get(t, base+"/stats.json"); code != 200 || !strings.Contains(body, `"attrspace.ops.put":7`) {
+		t.Errorf("/stats.json = %d: %s", code, body)
+	}
+	// The snapshot function is consulted per request — live values.
+	reg.Counter("attrspace.ops.put").Add(1)
+	if _, body := get(t, base+"/metrics"); !strings.Contains(body, "attrspace.ops.put 8") {
+		t.Errorf("/metrics not live:\n%s", body)
+	}
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/debug/pprof/") {
+		t.Errorf("index = %d: %s", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/goroutine?debug=1"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof goroutine = %d: %.120s", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}

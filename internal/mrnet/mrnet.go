@@ -18,9 +18,24 @@
 // exactly the merge the front-end would do, moved into the tree.
 // Nodes compose: a node's parent may be another node, forming trees of
 // any fan-in and depth.
+//
+// Beyond the profile reduction, the tree doubles as the pool's
+// observability plane. Children publish their telemetry registries as
+// TSAMPLE streams; each node applies a per-kind aggregation filter
+// (counters sum, gauges last/max, histograms merge — see stream.go)
+// and forwards one Cork-batched update per stream per flush, so the
+// front-end's message rate depends on the number of distinct metrics,
+// not the number of daemons. Each node also injects its own registry
+// and topology (subtree daemon count, tree depth) into the streams,
+// answers `STATS scope=tree` with the merged subtree snapshot, and
+// surfaces child failure as a synthetic host_down sample plus an
+// mrnet.hosts.down counter. A node that loses its parent reconnects
+// with resume semantics and re-publishes its cumulative state, which
+// is safe because every stream carries latest values, never deltas.
 package mrnet
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -30,6 +45,7 @@ import (
 	"time"
 
 	"tdp/internal/paradyn"
+	"tdp/internal/telemetry"
 	"tdp/internal/toolapi"
 	"tdp/internal/wire"
 )
@@ -55,34 +71,64 @@ type Config struct {
 	// that many children have registered, so the aggregate announces
 	// itself once, completely. Zero registers upstream immediately.
 	ExpectedChildren int
+	// StreamBuffer bounds the telemetry dirty set: when that many
+	// distinct streams have pending updates, the absorbing child
+	// handler flushes synchronously before accepting more
+	// (back-pressure). Zero means a generous default.
+	StreamBuffer int
+	// Registry is the node's own telemetry; nil creates a private one.
+	// Its metrics self-publish into the stream plane every flush.
+	Registry *telemetry.Registry
+	// Tracer records the node's spans (TSAMPLE receipt, uplink
+	// flushes); nil creates one named after the node.
+	Tracer *telemetry.Tracer
 }
 
 // Node is one process of the reduction network.
 type Node struct {
-	cfg Config
+	cfg     Config
+	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
+	streams *streamAgg
 
-	mu          sync.Mutex
-	up          *wire.Conn
-	children    map[string]*childState
-	totals      map[string]paradyn.FuncStats
-	doneCount   int
-	exitAgg     string
-	closed      bool
-	ranSent     bool
-	runRecvd    bool
-	upReady     chan struct{}
-	sessionDone chan struct{}
-	wg          sync.WaitGroup
+	mu           sync.Mutex
+	up           *wire.Conn
+	reconnecting bool
+	children     map[string]*childState
+	totals       map[string]paradyn.FuncStats
+	synthetic    map[string]paradyn.FuncStats // host_down and friends
+	lastSelf     telemetry.Snapshot           // last self-published registry state
+	doneCount    int
+	exitAgg      string
+	closed       bool
+	ranSent      bool
+	runRecvd     bool
+	upReadyOnce  sync.Once
+	upReady      chan struct{}
+	sessionDone  chan struct{}
+	wg           sync.WaitGroup
 }
 
 type childState struct {
 	name string
+	host string
+	kind string // "daemon" or "node"
 	conn *wire.Conn
 	// latest per-function sample from this child; reduction recomputes
 	// totals from the latest value of every child, so repeated samples
 	// do not double-count.
 	latest map[string]paradyn.FuncStats
 	done   bool
+	gone   bool // connection died before DONE (host down)
+}
+
+// ChildInfo is one downstream registration, for topology views.
+type ChildInfo struct {
+	Name string
+	Host string
+	Kind string
+	Done bool
+	Gone bool
 }
 
 // ErrNoParent is returned when the node cannot reach its parent.
@@ -106,15 +152,25 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Name == "" {
 		cfg.Name = "mrnet-node"
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = telemetry.NewTracer(cfg.Name)
+	}
 	n := &Node{
 		cfg:         cfg,
+		reg:         cfg.Registry,
+		tracer:      cfg.Tracer,
 		children:    make(map[string]*childState),
 		totals:      make(map[string]paradyn.FuncStats),
+		synthetic:   make(map[string]paradyn.FuncStats),
 		upReady:     make(chan struct{}),
 		sessionDone: make(chan struct{}),
 	}
+	n.streams = newStreamAgg(cfg.StreamBuffer, newStreamMetrics(n.reg))
 	if cfg.ExpectedChildren <= 0 {
-		if err := n.connectUpstream(); err != nil {
+		if err := n.connectUpstream(false); err != nil {
 			cfg.Listener.Close()
 			return nil, err
 		}
@@ -128,33 +184,67 @@ func NewNode(cfg Config) (*Node, error) {
 // Addr returns the address daemons (or child nodes) should dial.
 func (n *Node) Addr() string { return n.cfg.Listener.Addr().String() }
 
-func (n *Node) connectUpstream() error {
+// Registry returns the node's own telemetry registry.
+func (n *Node) Registry() *telemetry.Registry { return n.reg }
+
+// Tracer returns the node's span tracer.
+func (n *Node) Tracer() *telemetry.Tracer { return n.tracer }
+
+// connectUpstream dials the parent and registers. With resume set the
+// registration replaces a prior session (after a reconnect) and the
+// node re-publishes its full cumulative state, which latest-value
+// semantics make safe.
+func (n *Node) connectUpstream(resume bool) error {
 	raw, err := n.cfg.Dial(n.cfg.ParentAddr)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrNoParent, err)
 	}
 	up := wire.NewConn(raw)
+	up.InstrumentRegistry(n.reg)
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		up.Close()
+		return errors.New("mrnet: node closed")
+	}
 	children := len(n.children)
-	n.up = up
 	n.mu.Unlock()
 	reg := wire.NewMessage("REGISTER").
 		Set("daemon", n.cfg.Name).
 		Set("host", "mrnet").
+		Set("kind", "node").
 		Set("executable", fmt.Sprintf("aggregate(%d children)", children)).
 		SetInt("pid", 0).
 		SetInt("rank", 0)
+	if resume {
+		reg.Set("resume", "1")
+	}
 	if err := up.Send(reg); err != nil {
+		up.Close()
 		return err
 	}
-	close(n.upReady)
-	// Upstream RUN handling: multicast to children.
+	n.mu.Lock()
+	n.up = up
+	n.reconnecting = false
+	if resume {
+		// The new parent session starts from nothing: resend every
+		// function total on the next flush.
+		clear(n.totals)
+	}
+	n.mu.Unlock()
+	if resume {
+		n.streams.dirtyAll()
+	}
+	n.upReadyOnce.Do(func() { close(n.upReady) })
+	// Upstream RUN handling: multicast to children. A receive error
+	// means the parent is gone; hand off to the reconnect path.
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		for {
 			m, err := up.Recv()
 			if err != nil {
+				n.upstreamLost(up)
 				return
 			}
 			if m.Verb == "RUN" {
@@ -165,6 +255,47 @@ func (n *Node) connectUpstream() error {
 	return nil
 }
 
+// upstreamLost reacts to a dead parent connection: drop it and start
+// (at most one) background reconnect loop.
+func (n *Node) upstreamLost(up *wire.Conn) {
+	n.mu.Lock()
+	if n.closed || n.up != up {
+		n.mu.Unlock()
+		return
+	}
+	n.up = nil
+	if n.reconnecting {
+		n.mu.Unlock()
+		return
+	}
+	n.reconnecting = true
+	n.mu.Unlock()
+	up.Close()
+	n.reg.Counter("mrnet.up.reconnects").Inc()
+	n.wg.Add(1)
+	go n.reconnectLoop()
+}
+
+func (n *Node) reconnectLoop() {
+	defer n.wg.Done()
+	backoff := 10 * time.Millisecond
+	for {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		if err := n.connectUpstream(true); err == nil {
+			return
+		}
+		time.Sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
 // multicastRun forwards the front-end's RUN to every child, including
 // children that register later.
 func (n *Node) multicastRun() {
@@ -172,7 +303,9 @@ func (n *Node) multicastRun() {
 	n.runRecvd = true
 	conns := make([]*wire.Conn, 0, len(n.children))
 	for _, c := range n.children {
-		conns = append(conns, c.conn)
+		if !c.gone {
+			conns = append(conns, c.conn)
+		}
 	}
 	n.mu.Unlock()
 	for _, c := range conns {
@@ -191,15 +324,45 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// rejectChild replies with an ERROR frame naming the reason, then
+// closes — a malformed registration must not be a silent drop.
+func rejectChild(wc *wire.Conn, raw net.Conn, reason string) {
+	wc.Send(wire.NewMessage("ERROR").Set("error", reason))
+	raw.Close()
+}
+
 func (n *Node) handleChild(raw net.Conn) {
 	wc := wire.NewConn(raw)
-	reg, err := wc.Recv()
-	if err != nil || reg.Verb != "REGISTER" {
+	wc.InstrumentRegistry(n.reg)
+	first, err := wc.Recv()
+	if err != nil {
 		raw.Close()
 		return
 	}
+	// A connection may open with STATS instead of REGISTER: a
+	// monitoring client (tdptop) polling the subtree rollup.
+	if first.Verb == "STATS" {
+		n.serveStatsConn(wc, raw, first)
+		return
+	}
+	if first.Verb != "REGISTER" {
+		rejectChild(wc, raw, fmt.Sprintf("mrnet: expected REGISTER, got %s", first.Verb))
+		return
+	}
+	name := first.Get("daemon")
+	if name == "" {
+		rejectChild(wc, raw, "mrnet: REGISTER without daemon name")
+		return
+	}
+	kind := first.Get("kind")
+	if kind == "" {
+		kind = "daemon"
+	}
+	resume := first.Get("resume") == "1"
 	child := &childState{
-		name:   reg.Get("daemon"),
+		name:   name,
+		host:   first.Get("host"),
+		kind:   kind,
 		conn:   wc,
 		latest: make(map[string]paradyn.FuncStats),
 	}
@@ -209,16 +372,43 @@ func (n *Node) handleChild(raw net.Conn) {
 		raw.Close()
 		return
 	}
-	n.children[child.name] = child
+	if old, ok := n.children[name]; ok {
+		if old.done || (!resume && !old.gone) {
+			n.mu.Unlock()
+			rejectChild(wc, raw, fmt.Sprintf("mrnet: duplicate registration for %q", name))
+			return
+		}
+		// Reconnect (resume, or replacing a downed host): inherit the
+		// old function totals and telemetry streams as the starting
+		// point so the reduction stays monotone while the child
+		// re-publishes; cumulative values overwrite in place, so
+		// nothing double-counts.
+		child.latest = old.latest
+		old.conn.Close()
+	}
+	replacing := n.children[name] != nil
+	n.children[name] = child
 	count := len(n.children)
 	runAlready := n.runRecvd
-	needUpstream := n.up == nil && n.cfg.ExpectedChildren > 0 && count >= n.cfg.ExpectedChildren
+	needUpstream := n.up == nil && !n.reconnecting && n.cfg.ExpectedChildren > 0 && count >= n.cfg.ExpectedChildren
 	n.mu.Unlock()
 
+	if replacing {
+		n.streams.revive(name)
+	}
 	if needUpstream {
-		if err := n.connectUpstream(); err != nil {
-			raw.Close()
-			return
+		if err := n.connectUpstream(false); err != nil {
+			// Parent unreachable right now: keep absorbing children and
+			// retry in the background. The retry registers with resume
+			// semantics, which a parent that never saw us treats as a
+			// fresh registration.
+			n.mu.Lock()
+			if !n.closed && n.up == nil && !n.reconnecting {
+				n.reconnecting = true
+				n.wg.Add(1)
+				go n.reconnectLoop()
+			}
+			n.mu.Unlock()
 		}
 	}
 	if runAlready {
@@ -228,6 +418,7 @@ func (n *Node) handleChild(raw net.Conn) {
 	for {
 		m, err := wc.Recv()
 		if err != nil {
+			n.childGone(child)
 			raw.Close()
 			return
 		}
@@ -238,6 +429,27 @@ func (n *Node) handleChild(raw net.Conn) {
 			n.mu.Lock()
 			child.latest[m.Get("fn")] = paradyn.FuncStats{Calls: calls, TimeMicros: us}
 			n.mu.Unlock()
+		case "TSAMPLE":
+			ts, err := wire.ParseTSample(m)
+			if err != nil {
+				wc.Send(wire.NewMessage("ERROR").Set("error", err.Error()))
+				continue
+			}
+			tid, sid := m.Trace()
+			if tid != "" {
+				// Record this hop so the daemon→root chain has no gaps;
+				// the uplink flush will continue the chain from here.
+				sp := n.tracer.StartChild("mrnet.tsample", tid, sid)
+				sp.End()
+				sid = sp.SpanID()
+			}
+			if n.streams.update(child.name, ts, tid, sid) {
+				// Dirty set full: flush before absorbing more, which
+				// stalls this child's connection — back-pressure.
+				n.flush()
+			}
+		case "STATS":
+			n.replyStats(wc, m)
 		case "DONE":
 			n.mu.Lock()
 			if !child.done {
@@ -259,10 +471,129 @@ func (n *Node) handleChild(raw net.Conn) {
 	}
 }
 
+// childGone handles a connection that died before DONE: the host is
+// down. Its profile totals stay in the reduction (monotone); its
+// telemetry streams retire (counters/hists keep counting, gauges drop
+// out); the failure surfaces as an mrnet.hosts.down counter and a
+// synthetic host_down function sample that sums up the tree like any
+// profile entry.
+func (n *Node) childGone(child *childState) {
+	n.mu.Lock()
+	if n.closed || child.done || child.gone || n.children[child.name] != child {
+		n.mu.Unlock()
+		return
+	}
+	child.gone = true
+	s := n.synthetic["host_down"]
+	s.Calls++
+	n.synthetic["host_down"] = s
+	n.mu.Unlock()
+	n.reg.Counter("mrnet.hosts.down").Inc()
+	n.streams.retire(child.name)
+}
+
+// serveStatsConn answers STATS queries on a connection that never
+// registered — a monitoring client. It loops until the client hangs
+// up.
+func (n *Node) serveStatsConn(wc *wire.Conn, raw net.Conn, first *wire.Message) {
+	m := first
+	for {
+		n.replyStats(wc, m)
+		next, err := wc.Recv()
+		if err != nil || next.Verb != "STATS" {
+			raw.Close()
+			return
+		}
+		m = next
+	}
+}
+
+// replyStats answers one STATS message: scope=tree returns the merged
+// subtree rollup, anything else the node's own registry. The reply
+// shape (STATSV daemon= json=) matches the attrspace servers, so one
+// monitoring client can poll either.
+func (n *Node) replyStats(wc *wire.Conn, m *wire.Message) {
+	var snap telemetry.Snapshot
+	if m.Get("scope") == "tree" {
+		snap = n.TreeSnapshot()
+	} else {
+		snap = n.reg.Snapshot()
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		wc.Send(wire.NewMessage("ERROR").Set("error", err.Error()))
+		return
+	}
+	reply := wire.NewMessage("STATSV").
+		Set("daemon", n.cfg.Name).
+		Set("json", string(data))
+	if id := m.Get("id"); id != "" {
+		reply.Set("id", id)
+	}
+	wc.Send(reply)
+}
+
+// TreeSnapshot returns the merged telemetry of the whole subtree:
+// every child's published registry (recursively — child nodes stream
+// their own aggregates) plus this node's. This is what `STATS
+// scope=tree` serves.
+func (n *Node) TreeSnapshot() telemetry.Snapshot {
+	n.publishSelf()
+	return n.streams.snapshot()
+}
+
+// Topology lists the node's direct children, sorted by name.
+func (n *Node) Topology() []ChildInfo {
+	n.mu.Lock()
+	out := make([]ChildInfo, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, ChildInfo{Name: c.name, Host: c.host, Kind: c.kind, Done: c.done, Gone: c.gone})
+	}
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// publishSelf injects the node's own registry changes and topology
+// into the stream plane, so they aggregate up the tree like any
+// daemon's telemetry.
+func (n *Node) publishSelf() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	cur := n.reg.Snapshot()
+	diff := telemetry.SnapshotDiff(n.lastSelf, cur)
+	n.lastSelf = cur
+	daemons := 0
+	for _, c := range n.children {
+		if c.kind == "daemon" && !c.gone {
+			daemons++
+		}
+	}
+	n.mu.Unlock()
+	for _, ts := range wire.AppendSnapshotSamples(nil, diff) {
+		n.streams.inject(ts)
+	}
+	// Topology streams: direct daemon count sums to the pool total at
+	// the root; depth is one more than the deepest child node reports.
+	n.streams.inject(wire.TelemetrySample{
+		Kind: wire.KindCounter, Name: "mrnet.tree.daemons", Value: int64(daemons),
+	})
+	childDepth := n.streams.childMax(streamKey{kind: wire.KindGaugeMax, name: "mrnet.tree.depth"})
+	n.streams.inject(wire.TelemetrySample{
+		Kind: wire.KindGaugeMax, Name: "mrnet.tree.depth", Value: childDepth + 1,
+	})
+}
+
 // reduce recomputes per-function totals from every child's latest
-// sample.
+// sample plus the node's synthetic entries (host_down).
 func (n *Node) reduce() map[string]paradyn.FuncStats {
 	totals := make(map[string]paradyn.FuncStats)
+	for fn, s := range n.synthetic {
+		totals[fn] = s
+	}
 	for _, c := range n.children {
 		for fn, s := range c.latest {
 			t := totals[fn]
@@ -289,8 +620,12 @@ func (n *Node) flushLoop() {
 	}
 }
 
-// flush sends upstream any function whose reduced value changed.
+// flush sends upstream, in one corked burst, every function whose
+// reduced value changed and every telemetry stream whose aggregate
+// changed. With the parent gone it leaves state dirty for the
+// reconnect resync.
 func (n *Node) flush() {
+	n.publishSelf()
 	n.mu.Lock()
 	up := n.up
 	if up == nil || n.closed {
@@ -306,13 +641,49 @@ func (n *Node) flush() {
 		}
 	}
 	n.mu.Unlock()
+	items := n.streams.takeDirty()
+	if len(dirty) == 0 && len(items) == 0 {
+		return
+	}
+	n.streams.met.flushes.Inc()
 	sort.Strings(dirty)
+	up.Cork()
+	var err error
 	for _, fn := range dirty {
 		s := reduced[fn]
-		up.Send(wire.NewMessage("SAMPLE").
+		if err = up.Send(wire.NewMessage("SAMPLE").
 			Set("fn", fn).
 			Set("calls", strconv.FormatInt(s.Calls, 10)).
-			Set("time_us", strconv.FormatInt(s.TimeMicros, 10)))
+			Set("time_us", strconv.FormatInt(s.TimeMicros, 10))); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		for _, it := range items {
+			msg, merr := it.sample.Message()
+			if merr != nil {
+				continue
+			}
+			if it.tid != "" {
+				// Continue the daemon's trace across the uplink hop.
+				sp := n.tracer.StartChild("mrnet.flush", it.tid, it.sid)
+				msg.SetTrace(it.tid, sp.SpanID())
+				sp.End()
+			}
+			if err = up.Send(msg); err != nil {
+				break
+			}
+		}
+	}
+	if uerr := up.Uncork(); err == nil {
+		err = uerr
+	}
+	if err != nil {
+		// These aggregates never reached the parent. The reconnect
+		// resync (dirtyAll) will re-publish current values; the lost
+		// counter records that a gap happened.
+		n.streams.met.lost.Add(int64(len(items)))
+		n.upstreamLost(up)
 	}
 }
 
@@ -398,12 +769,17 @@ func AuxService(fanIn int) func(env toolapi.Env, args []string, parentAddr strin
 		if err != nil {
 			return "", nil, err
 		}
+		name := fmt.Sprintf("mrnet-%s", env.Context)
 		node, err := NewNode(Config{
-			Name:             fmt.Sprintf("mrnet-%s", env.Context),
+			Name:             name,
 			Listener:         l,
 			ParentAddr:       parentAddr,
 			Dial:             dial,
 			ExpectedChildren: fanIn,
+			// A named registry/tracer: the RM-launched node's own
+			// telemetry flows up to the front-end like any daemon's.
+			Registry: telemetry.NewRegistry(),
+			Tracer:   telemetry.NewTracer(name),
 		})
 		if err != nil {
 			return "", nil, err
@@ -428,61 +804,4 @@ func listenFor(env toolapi.Env) (net.Listener, error) {
 		return env.NetListen()
 	}
 	return net.Listen("tcp", "127.0.0.1:0")
-}
-
-// BuildTree constructs a balanced reduction tree over TCP loopback:
-// `leaves` leaf nodes each expecting `fanIn` daemons, all feeding one
-// root that reports to parentAddr. It returns the leaf addresses
-// (round-robin daemons across them) and a shutdown function. With
-// leaves == 1 the single node doubles as the root.
-func BuildTree(parentAddr string, leaves, fanIn int, dial DialFunc) (leafAddrs []string, shutdown func(), err error) {
-	if leaves < 1 {
-		leaves = 1
-	}
-	var nodes []*Node
-	closeAll := func() {
-		for _, n := range nodes {
-			n.Close()
-		}
-	}
-	rootParent := parentAddr
-	if leaves > 1 {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, nil, err
-		}
-		root, err := NewNode(Config{
-			Name: "mrnet-root", Listener: l, ParentAddr: parentAddr,
-			Dial: dial, ExpectedChildren: leaves,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		nodes = append(nodes, root)
-		rootParent = root.Addr()
-	}
-	for i := 0; i < leaves; i++ {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			closeAll()
-			return nil, nil, err
-		}
-		name := fmt.Sprintf("mrnet-leaf%d", i)
-		parent := rootParent
-		if leaves == 1 {
-			name = "mrnet-root"
-			parent = parentAddr
-		}
-		leaf, err := NewNode(Config{
-			Name: name, Listener: l, ParentAddr: parent,
-			Dial: dial, ExpectedChildren: fanIn,
-		})
-		if err != nil {
-			closeAll()
-			return nil, nil, err
-		}
-		nodes = append(nodes, leaf)
-		leafAddrs = append(leafAddrs, leaf.Addr())
-	}
-	return leafAddrs, closeAll, nil
 }

@@ -1,0 +1,377 @@
+package mrnet
+
+import (
+	"sync"
+
+	"tdp/internal/telemetry"
+	"tdp/internal/wire"
+)
+
+// This file implements a node's telemetry-stream aggregation engine:
+// the in-tree filters that turn per-daemon TSAMPLE streams into one
+// stream per metric on the uplink. Each (kind, name) pair is a
+// stream; the engine keeps every child's latest value per stream and
+// recomputes the aggregate from those latest values, so repeated,
+// reordered, or replayed samples never double-count — the same
+// latest-value discipline the FuncStats reduction uses.
+//
+// Filters (wire.Kind*):
+//
+//	counter  — sum of children's latest values (+ retired baselines)
+//	gauge    — most recently updated child's value
+//	gaugemax — maximum across children's latest values
+//	hist     — bucket-wise HistogramSnapshot merge
+//
+// Overflow policy (PR 3's coalesce-on-overflow, applied to streams):
+// updates mark a stream dirty; a stream that is already dirty when a
+// new update lands coalesces to the latest value — counted in
+// mrnet.stream.coalesced, never lost. The dirty set is bounded by
+// StreamBuffer: when it fills, the caller must flush before absorbing
+// more (back-pressure toward the children instead of unbounded
+// memory). Updates that can no longer reach the parent (upstream gone
+// for good) count into mrnet.stream.lost; both counters self-publish
+// up the tree, so back-pressure anywhere is visible at the root.
+//
+// Child death moves the child's stream state to a retired set whose
+// counter and histogram contributions keep counting — cumulative
+// kinds must stay monotone at the front-end even when a host vanishes
+// — while its gauge values (levels of a host that no longer exists)
+// drop out of the aggregate. A child that reconnects (resume) has its
+// retired state discarded exactly, because it re-publishes its
+// cumulative values; nothing is ever folded irreversibly.
+
+// streamKey identifies one aggregation stream.
+type streamKey struct {
+	kind string
+	name string
+}
+
+// streamVal is one child's (or the node's own) latest value on a
+// stream, plus the trace that most recently touched it.
+type streamVal struct {
+	num  int64
+	hist telemetry.HistogramSnapshot
+	at   uint64 // update recency, for the gauge "last" filter
+	tid  string // trace of the latest contributing update
+	sid  string
+}
+
+// streamMetrics bundles the engine's own accounting; all handles come
+// from the node's registry so they roll up the tree like any stream.
+type streamMetrics struct {
+	updates   *telemetry.Counter // TSAMPLEs absorbed
+	coalesced *telemetry.Counter // updates folded into an already-dirty stream
+	lost      *telemetry.Counter // updates dropped because no parent will ever see them
+	flushes   *telemetry.Counter // uplink flushes performed
+	depth     *telemetry.Gauge   // dirty-set high-water mark
+}
+
+func newStreamMetrics(reg *telemetry.Registry) streamMetrics {
+	return streamMetrics{
+		updates:   reg.Counter("mrnet.stream.updates"),
+		coalesced: reg.Counter("mrnet.stream.coalesced"),
+		lost:      reg.Counter("mrnet.stream.lost"),
+		flushes:   reg.Counter("mrnet.stream.flushes"),
+		depth:     reg.Gauge("mrnet.stream.depth"),
+	}
+}
+
+// streamAgg is the aggregation state of one node.
+type streamAgg struct {
+	mu       sync.Mutex
+	children map[string]map[streamKey]*streamVal // child name → latest per stream
+	self     map[streamKey]*streamVal            // the node's own contributions
+	retired  map[string]map[streamKey]*streamVal // dead children: counters/hists still count
+	dirty    map[streamKey]struct{}
+	lastSent map[streamKey]streamVal // last flushed aggregate, to suppress no-change sends
+	tick     uint64                  // recency clock for the gauge "last" filter
+	buffer   int                     // dirty-set bound; <=0 means defaultStreamBuffer
+	met      streamMetrics
+}
+
+// defaultStreamBuffer bounds the dirty set when Config.StreamBuffer
+// is zero: far above any realistic distinct-metric count, low enough
+// that a runaway publisher triggers flush back-pressure rather than
+// unbounded growth.
+const defaultStreamBuffer = 4096
+
+func newStreamAgg(buffer int, met streamMetrics) *streamAgg {
+	if buffer <= 0 {
+		buffer = defaultStreamBuffer
+	}
+	return &streamAgg{
+		children: make(map[string]map[streamKey]*streamVal),
+		self:     make(map[streamKey]*streamVal),
+		retired:  make(map[string]map[streamKey]*streamVal),
+		dirty:    make(map[streamKey]struct{}),
+		lastSent: make(map[streamKey]streamVal),
+		buffer:   buffer,
+		met:      met,
+	}
+}
+
+// update absorbs one TSAMPLE from a child. It returns true when the
+// dirty set has reached its bound and the caller should flush before
+// absorbing more (back-pressure).
+func (a *streamAgg) update(child string, ts wire.TelemetrySample, tid, sid string) (needFlush bool) {
+	key := streamKey{kind: ts.Kind, name: ts.Name}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := a.children[child]
+	if m == nil {
+		m = make(map[streamKey]*streamVal)
+		a.children[child] = m
+	}
+	a.tick++
+	v := m[key]
+	if v == nil {
+		v = &streamVal{}
+		m[key] = v
+	}
+	v.num = ts.Value
+	v.hist = ts.Hist
+	v.at = a.tick
+	v.tid, v.sid = tid, sid
+	a.met.updates.Inc()
+	a.markDirtyLocked(key)
+	return len(a.dirty) >= a.buffer
+}
+
+// inject records one of the node's own stream contributions (its
+// registry metrics, topology streams, synthetic host-down counts).
+func (a *streamAgg) inject(ts wire.TelemetrySample) {
+	key := streamKey{kind: ts.Kind, name: ts.Name}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tick++
+	v := a.self[key]
+	if v == nil {
+		v = &streamVal{}
+		a.self[key] = v
+	}
+	v.num = ts.Value
+	v.hist = ts.Hist
+	v.at = a.tick
+	a.markDirtyLocked(key)
+}
+
+func (a *streamAgg) markDirtyLocked(key streamKey) {
+	if _, ok := a.dirty[key]; ok {
+		a.met.coalesced.Inc()
+		return
+	}
+	a.dirty[key] = struct{}{}
+	if d := int64(len(a.dirty)); d > a.met.depth.Value() {
+		a.met.depth.Set(d)
+	}
+}
+
+// retire marks a child dead: its counter and histogram contributions
+// keep counting (moved to the retired set) while its gauges drop out
+// of the aggregate. Every affected stream is marked dirty so the
+// change propagates upstream.
+func (a *streamAgg) retire(child string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := a.children[child]
+	if m == nil {
+		return
+	}
+	delete(a.children, child)
+	a.retired[child] = m
+	for key := range m {
+		a.markDirtyLocked(key)
+	}
+}
+
+// revive restores a retired child's stream state as the live starting
+// point when the child reconnects (resume). Values are cumulative, so
+// the re-published stream simply overwrites them — the aggregate never
+// dips while the resync is in flight — and the per-child slot means
+// nothing double-counts.
+func (a *streamAgg) revive(child string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.retired[child]
+	if !ok {
+		return
+	}
+	delete(a.retired, child)
+	if a.children[child] == nil {
+		a.children[child] = m
+		for key := range m {
+			// Gauges re-enter the aggregate; recompute affected streams.
+			a.markDirtyLocked(key)
+		}
+	}
+}
+
+// aggregateLocked computes one stream's current aggregate.
+func (a *streamAgg) aggregateLocked(key streamKey) streamVal {
+	var out streamVal
+	fold := func(v *streamVal) {
+		switch key.kind {
+		case wire.KindCounter:
+			out.num += v.num
+		case wire.KindGauge:
+			if v.at >= out.at {
+				out.num = v.num
+			}
+		case wire.KindGaugeMax:
+			if out.at == 0 || v.num > out.num {
+				out.num = v.num
+			}
+		case wire.KindHist:
+			out.hist = out.hist.Merge(v.hist)
+		}
+		if v.at >= out.at {
+			out.at = v.at
+			if v.tid != "" {
+				out.tid, out.sid = v.tid, v.sid
+			}
+		}
+	}
+	if key.kind == wire.KindCounter || key.kind == wire.KindHist {
+		for _, m := range a.retired {
+			if v := m[key]; v != nil {
+				fold(v)
+			}
+		}
+	}
+	if s := a.self[key]; s != nil {
+		fold(s)
+	}
+	for _, m := range a.children {
+		if v := m[key]; v != nil {
+			fold(v)
+		}
+	}
+	return out
+}
+
+// childMax returns the maximum latest value live children report on a
+// stream (0 when none) — how a node learns its subtree's depth from
+// the children's own depth streams.
+func (a *streamAgg) childMax(key streamKey) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var max int64
+	for _, m := range a.children {
+		if v := m[key]; v != nil && v.num > max {
+			max = v.num
+		}
+	}
+	return max
+}
+
+// flushItem is one dirty stream's aggregate, ready for the uplink.
+type flushItem struct {
+	sample   wire.TelemetrySample
+	tid, sid string
+}
+
+// takeDirty drains the dirty set, returning the aggregates whose
+// value actually changed since the last flush (unchanged streams are
+// recomputed but not re-sent — a child re-publishing an identical
+// value costs nothing upstream).
+func (a *streamAgg) takeDirty() []flushItem {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.dirty) == 0 {
+		return nil
+	}
+	items := make([]flushItem, 0, len(a.dirty))
+	for key := range a.dirty {
+		delete(a.dirty, key)
+		agg := a.aggregateLocked(key)
+		last, sent := a.lastSent[key]
+		if sent && last.num == agg.num &&
+			last.hist.Count == agg.hist.Count && last.hist.Sum == agg.hist.Sum {
+			continue
+		}
+		a.lastSent[key] = agg
+		items = append(items, flushItem{
+			sample: wire.TelemetrySample{Kind: key.kind, Name: key.name, Value: agg.num, Hist: agg.hist},
+			tid:    agg.tid, sid: agg.sid,
+		})
+	}
+	return items
+}
+
+// dirtyAll re-marks every known stream dirty — the uplink
+// resynchronization step after a reconnect, when the new parent
+// session must receive the full cumulative state.
+func (a *streamAgg) dirtyAll() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := func(key streamKey) {
+		if _, ok := a.dirty[key]; !ok {
+			a.dirty[key] = struct{}{}
+		}
+	}
+	for key := range a.self {
+		seen(key)
+	}
+	for _, m := range a.retired {
+		for key := range m {
+			seen(key)
+		}
+	}
+	for _, m := range a.children {
+		for key := range m {
+			seen(key)
+		}
+	}
+	// A fresh parent has no memory of what we sent before.
+	clear(a.lastSent)
+}
+
+// snapshot renders the full aggregated stream state as a registry
+// snapshot — the payload of `STATS scope=tree`. Counter streams land
+// in Counters, both gauge kinds in Gauges, hist streams in
+// Histograms.
+func (a *streamAgg) snapshot() telemetry.Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keys := make(map[streamKey]struct{})
+	for key := range a.self {
+		keys[key] = struct{}{}
+	}
+	for _, m := range a.retired {
+		for key := range m {
+			keys[key] = struct{}{}
+		}
+	}
+	for _, m := range a.children {
+		for key := range m {
+			keys[key] = struct{}{}
+		}
+	}
+	out := telemetry.Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]telemetry.HistogramSnapshot),
+	}
+	for key := range keys {
+		agg := a.aggregateLocked(key)
+		switch key.kind {
+		case wire.KindCounter:
+			out.Counters[key.name] += agg.num
+		case wire.KindGauge, wire.KindGaugeMax:
+			if cur, ok := out.Gauges[key.name]; !ok || agg.num > cur {
+				out.Gauges[key.name] = agg.num
+			}
+		case wire.KindHist:
+			out.Histograms[key.name] = out.Histograms[key.name].Merge(agg.hist)
+		}
+	}
+	return out
+}
+
+// depth reports the current dirty-set size (tests and back-pressure
+// probes).
+func (a *streamAgg) depthNow() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.dirty)
+}

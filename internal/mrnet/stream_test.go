@@ -1,0 +1,123 @@
+package mrnet
+
+import (
+	"testing"
+
+	"tdp/internal/telemetry"
+	"tdp/internal/wire"
+)
+
+func newTestAgg(buffer int) (*streamAgg, *telemetry.Registry) {
+	reg := telemetry.NewRegistry()
+	return newStreamAgg(buffer, newStreamMetrics(reg)), reg
+}
+
+func TestStreamAggFilters(t *testing.T) {
+	a, _ := newTestAgg(0)
+	a.update("c1", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 5}, "", "")
+	a.update("c2", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 7}, "", "")
+	a.update("c1", wire.TelemetrySample{Kind: wire.KindGauge, Name: "cur", Value: 3}, "", "")
+	a.update("c2", wire.TelemetrySample{Kind: wire.KindGauge, Name: "cur", Value: 9}, "", "")
+	a.update("c1", wire.TelemetrySample{Kind: wire.KindGauge, Name: "cur", Value: 4}, "", "")
+	a.update("c1", wire.TelemetrySample{Kind: wire.KindGaugeMax, Name: "high", Value: 4}, "", "")
+	a.update("c2", wire.TelemetrySample{Kind: wire.KindGaugeMax, Name: "high", Value: 11}, "", "")
+	h1 := telemetry.NewHistogram([]float64{1, 10})
+	h1.Observe(0.5)
+	h2 := telemetry.NewHistogram([]float64{1, 10})
+	h2.Observe(5)
+	h2.Observe(50)
+	a.update("c1", wire.TelemetrySample{Kind: wire.KindHist, Name: "lat", Hist: h1.Snapshot()}, "", "")
+	a.update("c2", wire.TelemetrySample{Kind: wire.KindHist, Name: "lat", Hist: h2.Snapshot()}, "", "")
+
+	snap := a.snapshot()
+	if snap.Counters["ops"] != 12 {
+		t.Errorf("counter sum = %d, want 12", snap.Counters["ops"])
+	}
+	if snap.Gauges["cur"] != 4 {
+		t.Errorf("gauge last = %d, want 4 (most recent update)", snap.Gauges["cur"])
+	}
+	if snap.Gauges["high"] != 11 {
+		t.Errorf("gauge max = %d, want 11", snap.Gauges["high"])
+	}
+	if h := snap.Histograms["lat"]; h.Count != 3 || h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("hist merge = %+v", snap.Histograms["lat"])
+	}
+
+	// Latest-value semantics: re-sending a higher cumulative value
+	// replaces, never adds.
+	a.update("c1", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 6}, "", "")
+	if got := a.snapshot().Counters["ops"]; got != 13 {
+		t.Errorf("counter after resend = %d, want 13", got)
+	}
+}
+
+func TestStreamAggRetireAndRevive(t *testing.T) {
+	a, _ := newTestAgg(0)
+	a.update("up", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 10}, "", "")
+	a.update("down", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 32}, "", "")
+	a.update("down", wire.TelemetrySample{Kind: wire.KindGaugeMax, Name: "high", Value: 99}, "", "")
+	a.update("up", wire.TelemetrySample{Kind: wire.KindGaugeMax, Name: "high", Value: 7}, "", "")
+
+	a.retire("down")
+	snap := a.snapshot()
+	if snap.Counters["ops"] != 42 {
+		t.Errorf("counter after retire = %d, want 42 (dead host keeps counting)", snap.Counters["ops"])
+	}
+	if snap.Gauges["high"] != 7 {
+		t.Errorf("gauge after retire = %d, want 7 (dead host's level drops out)", snap.Gauges["high"])
+	}
+
+	// Revive restores the retired state as the live baseline — no dip,
+	// no double count — and the re-published stream overwrites it.
+	a.revive("down")
+	if got := a.snapshot().Counters["ops"]; got != 42 {
+		t.Errorf("counter after revive = %d, want 42", got)
+	}
+	if got := a.snapshot().Gauges["high"]; got != 99 {
+		t.Errorf("gauge after revive = %d, want 99 (level back)", got)
+	}
+	a.update("down", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 40}, "", "")
+	if got := a.snapshot().Counters["ops"]; got != 50 {
+		t.Errorf("counter after re-publication = %d, want 50 (overwrite, not add)", got)
+	}
+}
+
+func TestStreamAggCoalesceAndSuppress(t *testing.T) {
+	a, reg := newTestAgg(0)
+	a.update("c", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 1}, "", "")
+	a.update("c", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 2}, "", "")
+	a.update("c", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 3}, "", "")
+	if got := reg.Counter("mrnet.stream.coalesced").Value(); got != 2 {
+		t.Errorf("coalesced = %d, want 2 (updates folded into a dirty stream)", got)
+	}
+	items := a.takeDirty()
+	if len(items) != 1 || items[0].sample.Value != 3 {
+		t.Fatalf("takeDirty = %+v, want one item with the latest value 3", items)
+	}
+	if got := a.takeDirty(); got != nil {
+		t.Errorf("second takeDirty = %+v, want nil (clean)", got)
+	}
+
+	// Re-publishing an unchanged aggregate is suppressed.
+	a.update("c", wire.TelemetrySample{Kind: wire.KindCounter, Name: "ops", Value: 3}, "", "")
+	if got := a.takeDirty(); len(got) != 0 {
+		t.Errorf("no-change flush = %+v, want empty", got)
+	}
+	if got := reg.Gauge("mrnet.stream.depth").Value(); got < 1 {
+		t.Errorf("depth high-water = %d, want >= 1", got)
+	}
+}
+
+func TestStreamAggBackpressure(t *testing.T) {
+	a, _ := newTestAgg(2)
+	if full := a.update("c", wire.TelemetrySample{Kind: wire.KindCounter, Name: "a", Value: 1}, "", ""); full {
+		t.Error("dirty=1 of 2 reported full")
+	}
+	if full := a.update("c", wire.TelemetrySample{Kind: wire.KindCounter, Name: "b", Value: 1}, "", ""); !full {
+		t.Error("dirty=2 of 2 did not demand a flush")
+	}
+	a.takeDirty()
+	if full := a.update("c", wire.TelemetrySample{Kind: wire.KindCounter, Name: "a", Value: 2}, "", ""); full {
+		t.Error("flushed set still reported full")
+	}
+}

@@ -191,20 +191,43 @@ func runDaemon(env condor.ToolEnv, args []string, pc *procsim.ProcContext) int {
 	}
 
 	// Stream samples until the application exits. Sample counts land
-	// in the process-wide registry so a STATS snapshot shows the
-	// instrumentation data volume next to the protocol traffic.
+	// in a daemon-LOCAL registry — many simulated daemons share one
+	// process, and the pool rollup sums counters across publishers, so
+	// publishing the shared process registry from every daemon would
+	// multiply-count it. The process-wide counter still ticks so a
+	// plain STATS snapshot shows the instrumentation data volume next
+	// to the protocol traffic.
+	local := telemetry.NewRegistry()
+	samplesLocal := local.Counter("paradyn.samples.sent")
+	sampleLat := local.Histogram("paradyn.sample.batch_us", nil)
 	samplesSent := telemetry.Default().Counter("paradyn.samples.sent")
+	var lastPub telemetry.Snapshot
 	sendSamples := func() {
 		if fe == nil {
 			return
 		}
+		start := time.Now()
+		fe.Cork()
 		for fn, s := range metrics.Snapshot() {
 			fe.Send(wire.NewMessage("SAMPLE").
 				Set("fn", fn).
 				Set("calls", strconv.FormatInt(s.Calls, 10)).
 				Set("time_us", strconv.FormatInt(s.TimeMicros, 10)))
 			samplesSent.Inc()
+			samplesLocal.Inc()
 		}
+		sampleLat.Observe(float64(time.Since(start).Microseconds()))
+		// Publish the daemon's own registry as telemetry streams:
+		// only the metrics that changed since the last flush, as
+		// cumulative latest values (reconnect-safe).
+		cur := local.Snapshot()
+		for _, ts := range wire.AppendSnapshotSamples(nil, telemetry.SnapshotDiff(lastPub, cur)) {
+			if msg, err := ts.Message(); err == nil {
+				fe.Send(msg)
+			}
+		}
+		lastPub = cur
+		fe.Uncork()
 	}
 	var exit procsim.ExitStatus
 	for {

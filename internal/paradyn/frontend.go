@@ -24,8 +24,14 @@ import (
 //
 //	daemon → FE:  REGISTER daemon= host= pid= executable= rank=
 //	              SAMPLE   fn= calls= time_us=     (repeated)
+//	              TSAMPLE  kind= name= value=|json= (telemetry streams)
 //	              DONE     status=
 //	FE → daemon:  RUN                               (the user's run command)
+//
+// TSAMPLE carries cumulative latest values (never deltas), so the
+// front-end keeps one snapshot per daemon and PoolSnapshot merges them
+// — the same latest-value discipline the mrnet reduction uses, which
+// makes re-registration after a reconnect (resume=1) lossless.
 type FrontEnd struct {
 	cfg FrontEndConfig
 
@@ -58,6 +64,7 @@ type daemonState struct {
 	conn       *wire.Conn
 	stats      map[string]FuncStats
 	history    map[string][]TimedSample // per-function sample series
+	tel        telemetry.Snapshot       // latest TSAMPLE value per stream
 	done       bool
 	exitStatus string
 	ran        bool
@@ -133,6 +140,22 @@ func (fe *FrontEnd) handle(c net.Conn) {
 		c.Close()
 		return
 	}
+	if old := fe.daemons[name]; old != nil {
+		// Re-registration (a daemon or mrnet node reconnecting with
+		// resume=1, or a replacement after a crash): the new connection
+		// inherits the accumulated state so cumulative metrics never
+		// dip, and the old connection is dropped so its handler exits.
+		ds.stats = old.stats
+		ds.history = old.history
+		ds.tel = old.tel
+		ds.done = old.done
+		ds.exitStatus = old.exitStatus
+		// ran stays false: a reconnected peer that waits for RUN gets
+		// one; peers that resumed past that point ignore the extra.
+		if old.conn != wc {
+			old.conn.Close()
+		}
+	}
 	fe.daemons[name] = ds
 	autoRun := fe.cfg.AutoRun
 	fe.mu.Unlock()
@@ -165,6 +188,15 @@ func (fe *FrontEnd) handle(c net.Conn) {
 				series = series[len(series)-historyCap:]
 			}
 			ds.history[fn] = series
+			fe.mu.Unlock()
+		case "TSAMPLE":
+			ts, err := wire.ParseTSample(m)
+			if err != nil {
+				continue
+			}
+			telemetry.Default().Counter("paradyn.tsamples.received").Inc()
+			fe.mu.Lock()
+			ds.tel = absorbTSample(ds.tel, ts)
 			fe.mu.Unlock()
 		case "DONE":
 			fe.mu.Lock()
@@ -305,6 +337,60 @@ func (fe *FrontEnd) AllStats() map[string]FuncStats {
 	}
 	fe.mu.Unlock()
 	return Merge(parts...)
+}
+
+// absorbTSample folds one telemetry sample into a daemon's snapshot,
+// overwriting the stream's previous value (TSAMPLE values are
+// cumulative, so latest wins).
+func absorbTSample(snap telemetry.Snapshot, ts wire.TelemetrySample) telemetry.Snapshot {
+	switch ts.Kind {
+	case wire.KindCounter:
+		if snap.Counters == nil {
+			snap.Counters = make(map[string]int64)
+		}
+		snap.Counters[ts.Name] = ts.Value
+	case wire.KindGauge, wire.KindGaugeMax:
+		if snap.Gauges == nil {
+			snap.Gauges = make(map[string]int64)
+		}
+		snap.Gauges[ts.Name] = ts.Value
+	case wire.KindHist:
+		if snap.Histograms == nil {
+			snap.Histograms = make(map[string]telemetry.HistogramSnapshot)
+		}
+		snap.Histograms[ts.Name] = ts.Hist
+	}
+	return snap
+}
+
+// DaemonSnapshot returns the latest telemetry snapshot one daemon (or
+// mrnet subtree, when the registrant is a reduction node) streamed via
+// TSAMPLE. Zero when the daemon is unknown or never published.
+func (fe *FrontEnd) DaemonSnapshot(daemon string) telemetry.Snapshot {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	ds := fe.daemons[daemon]
+	if ds == nil {
+		return telemetry.Snapshot{}
+	}
+	return ds.tel.Merge(telemetry.Snapshot{})
+}
+
+// PoolSnapshot merges every registrant's telemetry streams into one
+// pool-wide view: counters sum, gauges take the maximum, histograms
+// merge bucket-wise. With daemons connected through a reduction tree
+// there is a single registrant (the tree root) and this is simply its
+// rolled-up subtree snapshot.
+func (fe *FrontEnd) PoolSnapshot() telemetry.Snapshot {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	parts := make([]telemetry.Snapshot, 0, len(fe.daemons))
+	for _, ds := range fe.daemons {
+		parts = append(parts, ds.tel)
+	}
+	// Merge under the lock: the parts alias the live per-daemon maps
+	// that handle() mutates, and MergeSnapshots deep-copies them.
+	return telemetry.MergeSnapshots(parts...)
 }
 
 // ExitStatus returns the status a daemon reported with DONE.

@@ -302,6 +302,15 @@ queue
 		}
 	}
 
+	// The daemon published its local registry as telemetry streams.
+	pool2 := fe.PoolSnapshot()
+	if pool2.Counters["paradyn.samples.sent"] <= 0 {
+		t.Errorf("PoolSnapshot counters = %v, want paradyn.samples.sent > 0", pool2.Counters)
+	}
+	if pool2.Histograms["paradyn.sample.batch_us"].Count <= 0 {
+		t.Error("PoolSnapshot missing paradyn.sample.batch_us histogram")
+	}
+
 	// The daemon's profile file came back to the submit machine.
 	data, ok2 := pool.SubmitFiles().Read("daemon.out")
 	if !ok2 || !strings.Contains(string(data), "bottleneck: compute_forces") {

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"tdp/internal/telemetry"
+)
+
+// This file defines the TSAMPLE message: one telemetry-metric update
+// on a monitoring stream. Daemons publish their (daemon-local)
+// registry as TSAMPLE streams toward the tool front-end; mrnet
+// reduction nodes apply a per-kind aggregation filter in the tree —
+// counters sum, gauges take last or max, histograms merge — so the
+// front-end's socket loop sees one message per stream per flush
+// instead of one per daemon. The codec lives in package wire (not
+// mrnet) because both ends of the paradyn protocol speak it and
+// paradyn cannot import mrnet without a cycle.
+//
+// Shape on the wire:
+//
+//	TSAMPLE kind=counter|gauge|gaugemax|hist name=<metric>
+//	        value=<int64>            (counter/gauge/gaugemax)
+//	        json=<HistogramSnapshot> (hist)
+//
+// Values are cumulative latest-value semantics, like SAMPLE: a
+// publisher re-sends the current value, never a delta, so repeated or
+// replayed samples cannot double-count and a reconnect resynchronizes
+// by re-publishing everything.
+
+// Telemetry stream kinds: the aggregation filter a reduction node
+// applies across children for this stream.
+const (
+	KindCounter  = "counter"  // sum of children's latest values
+	KindGauge    = "gauge"    // most recently updated child's value
+	KindGaugeMax = "gaugemax" // maximum across children's latest values
+	KindHist     = "hist"     // bucket-wise histogram merge
+)
+
+// TelemetrySample is the decoded form of one TSAMPLE message.
+type TelemetrySample struct {
+	Kind  string
+	Name  string
+	Value int64                       // counter/gauge/gaugemax kinds
+	Hist  telemetry.HistogramSnapshot // hist kind
+}
+
+// Message encodes the sample as a TSAMPLE wire message.
+func (ts TelemetrySample) Message() (*Message, error) {
+	m := NewMessage("TSAMPLE").Set("kind", ts.Kind).Set("name", ts.Name)
+	if ts.Kind == KindHist {
+		data, err := json.Marshal(ts.Hist)
+		if err != nil {
+			return nil, fmt.Errorf("wire: encode tsample %q: %w", ts.Name, err)
+		}
+		m.Set("json", string(data))
+		return m, nil
+	}
+	m.Set("value", strconv.FormatInt(ts.Value, 10))
+	return m, nil
+}
+
+// ParseTSample decodes a TSAMPLE message.
+func ParseTSample(m *Message) (TelemetrySample, error) {
+	ts := TelemetrySample{Kind: m.Get("kind"), Name: m.Get("name")}
+	if ts.Name == "" {
+		return ts, fmt.Errorf("wire: tsample without name")
+	}
+	switch ts.Kind {
+	case KindCounter, KindGauge, KindGaugeMax:
+		v, err := strconv.ParseInt(m.Get("value"), 10, 64)
+		if err != nil {
+			return ts, fmt.Errorf("wire: tsample %q: bad value %q", ts.Name, m.Get("value"))
+		}
+		ts.Value = v
+	case KindHist:
+		if err := json.Unmarshal([]byte(m.Get("json")), &ts.Hist); err != nil {
+			return ts, fmt.Errorf("wire: tsample %q: bad histogram: %w", ts.Name, err)
+		}
+	default:
+		return ts, fmt.Errorf("wire: tsample %q: unknown kind %q", ts.Name, ts.Kind)
+	}
+	return ts, nil
+}
+
+// AppendSnapshotSamples converts a registry snapshot (typically a
+// SnapshotDiff since the last publication) into TSAMPLE samples,
+// appended to dst. Counters become counter streams, gauges gaugemax
+// streams (the pool rollup keeps the high-water mark), histograms
+// hist streams. This is the publisher half every daemon shares;
+// reduction nodes and the front-end hold the consumer half.
+func AppendSnapshotSamples(dst []TelemetrySample, snap telemetry.Snapshot) []TelemetrySample {
+	for name, v := range snap.Counters {
+		dst = append(dst, TelemetrySample{Kind: KindCounter, Name: name, Value: v})
+	}
+	for name, v := range snap.Gauges {
+		dst = append(dst, TelemetrySample{Kind: KindGaugeMax, Name: name, Value: v})
+	}
+	for name, h := range snap.Histograms {
+		dst = append(dst, TelemetrySample{Kind: KindHist, Name: name, Hist: h})
+	}
+	return dst
+}

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"testing"
+
+	"tdp/internal/telemetry"
+)
+
+func TestTSampleRoundTrip(t *testing.T) {
+	for _, ts := range []TelemetrySample{
+		{Kind: KindCounter, Name: "ops", Value: 42},
+		{Kind: KindGauge, Name: "depth", Value: -3},
+		{Kind: KindGaugeMax, Name: "high", Value: 99},
+	} {
+		m, err := ts.Message()
+		if err != nil {
+			t.Fatalf("%s: %v", ts.Name, err)
+		}
+		if m.Verb != "TSAMPLE" {
+			t.Fatalf("verb = %q", m.Verb)
+		}
+		got, err := ParseTSample(m)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", ts.Name, err)
+		}
+		if got.Kind != ts.Kind || got.Name != ts.Name || got.Value != ts.Value {
+			t.Errorf("round trip = %+v, want %+v", got, ts)
+		}
+	}
+}
+
+func TestTSampleHistRoundTrip(t *testing.T) {
+	h := telemetry.NewHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	ts := TelemetrySample{Kind: KindHist, Name: "lat", Hist: h.Snapshot()}
+	m, err := ts.Message()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTSample(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hist.Count != 2 || got.Hist.Counts[0] != 1 || got.Hist.Counts[1] != 1 {
+		t.Errorf("hist = %+v", got.Hist)
+	}
+	if !telemetry.EqualBounds(got.Hist.Bounds, h.Bounds()) {
+		t.Errorf("bounds = %v", got.Hist.Bounds)
+	}
+}
+
+func TestTSampleParseErrors(t *testing.T) {
+	cases := []*Message{
+		NewMessage("TSAMPLE").Set("kind", KindCounter),                                 // no name
+		NewMessage("TSAMPLE").Set("kind", KindCounter).Set("name", "x"),                // no value
+		NewMessage("TSAMPLE").Set("kind", "bogus").Set("name", "x").Set("value", "1"),  // bad kind
+		NewMessage("TSAMPLE").Set("kind", KindHist).Set("name", "x").Set("json", "{]"), // bad json
+	}
+	for i, m := range cases {
+		if _, err := ParseTSample(m); err == nil {
+			t.Errorf("case %d: no error for %s", i, m)
+		}
+	}
+}
+
+func TestAppendSnapshotSamples(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("ops").Add(7)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	out := AppendSnapshotSamples(nil, r.Snapshot())
+	if len(out) != 3 {
+		t.Fatalf("len = %d, want 3", len(out))
+	}
+	kinds := map[string]string{}
+	for _, ts := range out {
+		kinds[ts.Name] = ts.Kind
+		if ts.Name == "ops" && ts.Value != 7 {
+			t.Errorf("ops value = %d", ts.Value)
+		}
+	}
+	if kinds["ops"] != KindCounter || kinds["depth"] != KindGaugeMax || kinds["lat"] != KindHist {
+		t.Errorf("kinds = %v", kinds)
+	}
+}

@@ -79,9 +79,17 @@ func init() {
 		"ERROR", "EVENT", "CLOSE",
 		// Global-forwarding verbs (LASS → CASS relay).
 		"GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP",
+		// Tool-stream verbs (paradyn front-end protocol, mrnet
+		// reduction network, proxy handshake) — the monitoring fan-in
+		// hot path, where a pool of daemons emits a message per metric
+		// per sample interval.
+		"REGISTER", "SAMPLE", "TSAMPLE", "DONE", "RUN",
+		"CONNECT", "REFUSED",
 		// Common field keys.
 		"id", "attr", "value", "context", "error", "daemon", "json",
 		"n", "seq", "op", "who", "lost", "seqs", "reason", "conn",
+		"fn", "calls", "time_us", "status", "host", "executable",
+		"pid", "rank", "kind", "name", "scope", "target", "resume",
 		FieldTraceID, FieldSpanID,
 	}
 	// Batched put / snapshot field keys k0..k31, v0..v31 (plus the

@@ -16,7 +16,7 @@ set -eu
 baseline=${1:?usage: benchdiff.sh baseline.json current.json}
 current=${2:?usage: benchdiff.sh baseline.json current.json}
 : "${THRESHOLD:=20}"
-: "${GATE_EXCLUDE:=ManyContexts|GlobalGetCached|ProxyRelay}"
+: "${GATE_EXCLUDE:=ManyContexts|GlobalGetCached|ProxyRelay|MRNetFanIn}"
 
 awk -v thr="$THRESHOLD" -v excl="$GATE_EXCLUDE" '
 FNR == 1 { file++ }
