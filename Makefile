@@ -13,14 +13,18 @@
 GO ?= go
 
 # The hot-path suite tracked in BENCH_attrspace.json: attribute space
-# round trips, the wire codec micro-benchmarks, and the scaling suite
-# (sharded many-context fan-out, LASS global read cache, proxy relay).
-# The parallel contention benchmark (AttrSpaceClients) stays out of the
-# tracked set: RunParallel numbers swing 20%+ run to run on shared
-# machines, which would make the benchdiff gate flaky. The scaling
-# benchmarks are contention/network shaped too, so they are recorded
-# but excluded from the regression gate (GATE_EXCLUDE in benchdiff.sh).
-BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire|BenchmarkAttrSpaceManyContexts|BenchmarkGlobalGetCached|BenchmarkProxyRelay|BenchmarkMRNetFanIn
+# round trips, the wire codec micro-benchmarks, the scaling suite
+# (sharded many-context fan-out, LASS global read cache, proxy relay),
+# and the transport-v2 suite (same-host unix fast path, delta resync,
+# mux fan-out). The parallel contention benchmark (AttrSpaceClients)
+# stays out of the tracked set: RunParallel numbers swing 20%+ run to
+# run on shared machines, which would make the benchdiff gate flaky.
+# The scaling and transport benchmarks are contention/network shaped
+# too, so they are recorded but excluded from the regression gate
+# (GATE_EXCLUDE in benchdiff.sh); the wire codec benchmarks are the
+# opposite — hard-required by GATE_REQUIRE, so they can neither regress
+# nor silently drop out of the tracked set.
+BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire|BenchmarkAttrSpaceManyContexts|BenchmarkGlobalGetCached|BenchmarkProxyRelay|BenchmarkMRNetFanIn|BenchmarkSameHostPut|BenchmarkSessionResync|BenchmarkMuxFanout
 
 # The chaos suite's fault-injection seed; pinned so CI runs are
 # reproducible and a failure's schedule can be replayed exactly.

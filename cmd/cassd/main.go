@@ -11,7 +11,8 @@
 //
 // Usage:
 //
-//	cassd [-addr host:port] [-loglevel debug|info|error|silent]
+//	cassd [-addr host:port | -addr unix:/path] [-unix]
+//	      [-loglevel debug|info|error|silent]
 //	      [-monitor 5s] [-monitor-context name] [-event-buffer n]
 //	      [-debug-addr host:port]
 package main
@@ -30,7 +31,8 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:4500", "listen address")
+	addr := flag.String("addr", "127.0.0.1:4500", "listen address (host:port, or unix:/path for a unix-domain socket)")
+	unixSock := flag.Bool("unix", false, "also listen on the conventional same-host unix socket beside -addr, so local clients skip the TCP stack")
 	logLevel := flag.String("loglevel", "error", "log verbosity: debug|info|error|silent")
 	monitor := flag.Duration("monitor", 0, "self-publish metrics as tdp.monitor.cass.* at this interval (0 disables)")
 	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
@@ -48,6 +50,15 @@ func main() {
 		log.Fatalf("cassd: %v", err)
 	}
 	log.Printf("cassd: serving central attribute space on %s", bound)
+	if *unixSock {
+		side, err := srv.ListenUnixBeside(bound)
+		if err != nil {
+			log.Fatalf("cassd: %v", err)
+		}
+		if side != "" {
+			log.Printf("cassd: same-host fast path on %s", side)
+		}
+	}
 	if *debugAddr != "" {
 		dbg, stopDbg, err := debughttp.Serve(*debugAddr, func() telemetry.Snapshot {
 			return srv.Telemetry().Snapshot()

@@ -19,7 +19,8 @@
 //
 // Usage:
 //
-//	lassd [-addr host:port] [-loglevel debug|info|error|silent]
+//	lassd [-addr host:port | -addr unix:/path] [-unix]
+//	      [-loglevel debug|info|error|silent]
 //	      [-monitor 5s] [-monitor-context name]
 //	      [-cass host:port] [-cache-max n] [-event-buffer n]
 //	      [-debug-addr host:port]
@@ -39,7 +40,8 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:4510", "listen address")
+	addr := flag.String("addr", "127.0.0.1:4510", "listen address (host:port, or unix:/path for a unix-domain socket)")
+	unixSock := flag.Bool("unix", false, "also listen on the conventional same-host unix socket beside -addr, so local clients skip the TCP stack")
 	logLevel := flag.String("loglevel", "error", "log verbosity: debug|info|error|silent")
 	monitor := flag.Duration("monitor", 0, "self-publish metrics as tdp.monitor.lass.* at this interval (0 disables)")
 	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
@@ -63,6 +65,15 @@ func main() {
 		log.Fatalf("lassd: %v", err)
 	}
 	log.Printf("lassd: serving attribute space on %s", bound)
+	if *unixSock {
+		side, err := srv.ListenUnixBeside(bound)
+		if err != nil {
+			log.Fatalf("lassd: %v", err)
+		}
+		if side != "" {
+			log.Printf("lassd: same-host fast path on %s", side)
+		}
+	}
 	if *debugAddr != "" {
 		dbg, stopDbg, err := debughttp.Serve(*debugAddr, func() telemetry.Snapshot {
 			return srv.Telemetry().Snapshot()

@@ -1,0 +1,120 @@
+package attr
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestChangesSinceReplaysGap(t *testing.T) {
+	s := NewSpace()
+	r := s.Join("job")
+	defer r.Leave()
+
+	r.Put("a", "1")
+	mark, _ := r.PutSeq("b", "2")
+	r.Put("a", "3")
+	r.Delete("b")
+
+	changes, seq, ok, err := r.ChangesSince(mark)
+	if err != nil || !ok {
+		t.Fatalf("ChangesSince: ok=%v err=%v", ok, err)
+	}
+	if seq != mark+2 {
+		t.Fatalf("seq = %d, want %d", seq, mark+2)
+	}
+	if len(changes) != 2 {
+		t.Fatalf("got %d changes, want 2: %v", len(changes), changes)
+	}
+	if changes[0].Attr != "a" || changes[0].Value != "3" || changes[0].Delete {
+		t.Fatalf("change 0 = %+v", changes[0])
+	}
+	if changes[1].Attr != "b" || !changes[1].Delete {
+		t.Fatalf("change 1 = %+v", changes[1])
+	}
+	if changes[0].Seq >= changes[1].Seq {
+		t.Fatalf("changes out of order: %+v", changes)
+	}
+}
+
+func TestChangesSinceUpToDate(t *testing.T) {
+	s := NewSpace()
+	r := s.Join("job")
+	defer r.Leave()
+	seq, _ := r.PutSeq("a", "1")
+	changes, cur, ok, err := r.ChangesSince(seq)
+	if err != nil || !ok || len(changes) != 0 || cur != seq {
+		t.Fatalf("up-to-date: changes=%v cur=%d ok=%v err=%v", changes, cur, ok, err)
+	}
+	// A caller ahead of the context (epoch restart) still gets ok=true
+	// with the real seq so it can detect the restart itself.
+	_, cur, ok, _ = r.ChangesSince(seq + 100)
+	if !ok || cur != seq {
+		t.Fatalf("ahead-of-context: cur=%d ok=%v", cur, ok)
+	}
+}
+
+func TestChangesSinceCompacted(t *testing.T) {
+	s := NewSpace()
+	r := s.Join("job")
+	defer r.Leave()
+	// Push far past the retention bound so seq 1 is compacted away.
+	for i := 0; i < 3*changeLogCap; i++ {
+		r.Put(fmt.Sprintf("k%d", i%10), "v")
+	}
+	_, _, ok, err := r.ChangesSince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ChangesSince(1) reported coverage after compaction")
+	}
+	// A recent mark must still be covered.
+	seq, _ := r.PutSeq("fresh", "x")
+	r.Put("fresh", "y")
+	changes, _, ok, err := r.ChangesSince(seq)
+	if err != nil || !ok || len(changes) != 1 || changes[0].Value != "y" {
+		t.Fatalf("recent gap: changes=%v ok=%v err=%v", changes, ok, err)
+	}
+}
+
+func TestChangeLogCoversBatchAndStaysConsecutive(t *testing.T) {
+	s := NewSpace()
+	r := s.Join("job")
+	defer r.Leave()
+	r.Put("seed", "0")
+	r.PutBatch([]KV{{"a", "1"}, {"b", "2"}, {"c", "3"}})
+	changes, seq, ok, err := r.ChangesSince(1)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(changes) != 3 || seq != 4 {
+		t.Fatalf("changes=%v seq=%d", changes, seq)
+	}
+	for i, c := range changes {
+		if c.Seq != uint64(i+2) {
+			t.Fatalf("non-consecutive seq at %d: %+v", i, changes)
+		}
+	}
+}
+
+func TestChangeLogBounded(t *testing.T) {
+	s := NewSpace()
+	r := s.Join("job")
+	defer r.Leave()
+	for i := 0; i < 10*changeLogCap; i++ {
+		r.Put("k", "v")
+	}
+	c, err := r.live()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.sh.mu.RLock()
+	n := len(c.log)
+	c.sh.mu.RUnlock()
+	if n > 2*changeLogCap {
+		t.Fatalf("log grew to %d entries, cap is %d", n, 2*changeLogCap)
+	}
+	if n < changeLogCap {
+		t.Fatalf("log retained only %d entries, want >= %d", n, changeLogCap)
+	}
+}

@@ -39,8 +39,14 @@ var ErrServerDraining = errors.New("attrspace: server draining")
 // net.Dial("tcp", addr); the simulated network uses (*netsim.Host).Dial.
 type DialFunc func(addr string) (net.Conn, error)
 
-// TCPDial is the default DialFunc over the real loopback network.
+// TCPDial is the plain TCP DialFunc. The default when none is supplied
+// is AutoDial, which prefers the same-host unix socket for loopback
+// endpoints; pass TCPDial explicitly to force TCP.
 func TCPDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// clientCaps are the transport-v2 capabilities this client offers in
+// HELLO; the server grants the intersection with its own.
+var clientCaps = []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing}
 
 // Event is a pushed attribute change received after Subscribe.
 type Event struct {
@@ -85,13 +91,23 @@ type Client struct {
 	onClose func(error)
 	subbed  bool
 
+	// Transport v2 state, fixed once HELLO's OK lands: the granted
+	// capability set, the stream mux (nil on a v1 connection), and the
+	// reassembly buffer for chunked bulk replies, keyed by request id.
+	caps   map[string]bool
+	mux    *wire.Mux
+	chunks map[string][]*wire.Message
+
 	// Async-put coalescing state: queued puts accumulate in putq while
 	// a flush is in flight and leave as one MPUT. noMPUT flips on when
 	// the server answers MPUT with an unknown-verb error (an older
-	// peer); from then on batches fall back to pipelined PUTs.
+	// peer); from then on batches fall back to pipelined PUTs. noSNAPD
+	// is the same latch for the delta-snapshot verb — belt and braces
+	// on top of capability negotiation.
 	putq     []pendingPut
 	flushing bool
 	noMPUT   atomic.Bool
+	noSNAPD  atomic.Bool
 
 	// Optional telemetry, installed by SetTelemetry. reg counts
 	// per-verb ops and latencies under "client.*"; tracer starts a
@@ -114,7 +130,7 @@ func Dial(dial DialFunc, addr, contextName string) (*Client, error) {
 // depend on this bound.
 func DialCtx(ctx context.Context, dial DialFunc, addr, contextName string) (*Client, error) {
 	if dial == nil {
-		dial = TCPDial
+		dial = AutoDial
 	}
 	raw, err := dial(addr)
 	if err != nil {
@@ -124,6 +140,7 @@ func DialCtx(ctx context.Context, dial DialFunc, addr, contextName string) (*Cli
 		wc:      wire.NewConn(raw),
 		raw:     raw,
 		pending: make(map[string]chan *wire.Message),
+		chunks:  make(map[string][]*wire.Message),
 		events:  make(chan Event, 64),
 	}
 	go c.readLoop()
@@ -140,7 +157,9 @@ func DialCtx(ctx context.Context, dial DialFunc, addr, contextName string) (*Cli
 			}
 		}()
 	}
-	reply, err := c.call(ctx, "HELLO", wire.NewMessage("HELLO").Set("context", contextName))
+	hello := wire.NewMessage("HELLO").Set("context", contextName).
+		Set("caps", strings.Join(clientCaps, ","))
+	reply, err := c.call(ctx, "HELLO", hello)
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("attrspace: hello: %w", err)
@@ -149,7 +168,34 @@ func DialCtx(ctx context.Context, dial DialFunc, addr, contextName string) (*Cli
 		c.Close()
 		return nil, fmt.Errorf("attrspace: hello rejected: %s", reply.Get("error"))
 	}
+	// A v1 server ignored the caps field and granted nothing; a v2
+	// server replies with the intersection. Either way both ends now
+	// agree, and the mux engages only when both speak it.
+	if granted := reply.Get("caps"); granted != "" {
+		set := wire.ParseCaps(granted)
+		c.mu.Lock()
+		c.caps = set
+		if set[wire.CapMux] {
+			c.mux = wire.NewMux(c.wc, wire.MuxConfig{Registry: c.reg})
+		}
+		c.mu.Unlock()
+	}
 	return c, nil
+}
+
+// muxer returns the connection's stream mux, nil on a v1 connection.
+func (c *Client) muxer() *wire.Mux {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mux
+}
+
+// HasCap reports whether the server granted the named transport-v2
+// capability (wire.CapMux etc.) during the HELLO handshake.
+func (c *Client) HasCap(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.caps[name]
 }
 
 func (c *Client) readLoop() {
@@ -167,6 +213,11 @@ func (c *Client) readLoop() {
 			}
 			c.fail(err)
 			return
+		}
+		if x := c.muxer(); x != nil {
+			if _, handled := x.Accept(m); handled {
+				continue // pure transport (WINUP), nothing to dispatch
+			}
 		}
 		if m.Verb == "EVENT" {
 			seq, _ := strconv.ParseUint(m.Get("seq"), 10, 64)
@@ -214,9 +265,25 @@ func (c *Client) readLoop() {
 			continue
 		}
 		id := m.Get("id")
+		if m.Get("more") == "1" {
+			// Interior chunk of a multi-part bulk reply (CapChunk):
+			// buffer it against the request id; the final part (no
+			// `more`) is delivered through the pending channel as usual
+			// and the call site collects the buffered parts. Chunks for
+			// an abandoned request are dropped, not accumulated.
+			c.mu.Lock()
+			if _, live := c.pending[id]; live {
+				c.chunks[id] = append(c.chunks[id], m)
+			}
+			c.mu.Unlock()
+			continue
+		}
 		c.mu.Lock()
 		ch := c.pending[id]
 		delete(c.pending, id)
+		if ch == nil {
+			delete(c.chunks, id)
+		}
 		drained := c.draining && len(c.pending) == 0
 		c.mu.Unlock()
 		if ch != nil {
@@ -227,6 +294,16 @@ func (c *Client) readLoop() {
 			return
 		}
 	}
+}
+
+// takeChunks removes and returns the buffered interior parts of a
+// chunked reply; call with the final part's request id in hand.
+func (c *Client) takeChunks(id string) []*wire.Message {
+	c.mu.Lock()
+	parts := c.chunks[id]
+	delete(c.chunks, id)
+	c.mu.Unlock()
+	return parts
 }
 
 // fail moves the client to its terminal state exactly once: every
@@ -246,8 +323,13 @@ func (c *Client) fail(err error) {
 	c.err = err
 	pending := c.pending
 	c.pending = make(map[string]chan *wire.Message)
+	c.chunks = make(map[string][]*wire.Message)
+	mux := c.mux
 	onClose := c.onClose
 	c.mu.Unlock()
+	if mux != nil {
+		mux.Fail(err)
+	}
 	for id, ch := range pending {
 		ch <- wire.NewMessage("ERROR").Set("id", id).Set("error", err.Error()).Set("conn", "1")
 	}
@@ -361,6 +443,7 @@ func (c *Client) call(ctx context.Context, verb string, m *wire.Message) (*wire.
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id)
+		delete(c.chunks, id)
 		c.mu.Unlock()
 		return nil, ctx.Err()
 	}
@@ -390,9 +473,19 @@ func (c *Client) send(m *wire.Message) (chan *wire.Message, string, error) {
 	id := strconv.FormatUint(c.nextID, 10)
 	ch := make(chan *wire.Message, 1)
 	c.pending[id] = ch
+	x := c.mux
 	c.mu.Unlock()
 	m.Set("id", id)
-	if err := c.wc.Send(m); err != nil {
+	// Requests ride the control stream (never window-limited); routing
+	// them through the mux lets accumulated receive-side credit grants
+	// piggyback instead of costing explicit WINUP frames.
+	var err error
+	if x != nil {
+		err = x.SendOn(wire.StreamControl, m)
+	} else {
+		err = c.wc.Send(m)
+	}
+	if err != nil {
 		c.fail(err)
 		return nil, "", fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
@@ -759,19 +852,111 @@ func (c *Client) SnapshotSeq(ctx context.Context) (map[string]Versioned, uint64,
 	if err := replyErr(reply); err != nil {
 		return nil, 0, err
 	}
-	n := reply.Int("n", 0)
-	out := make(map[string]Versioned, n)
-	for i := 0; i < n; i++ {
-		idx := strconv.Itoa(i)
-		k, ok := reply.Lookup("k" + idx)
-		if !ok {
-			return nil, 0, fmt.Errorf("attrspace: malformed snapshot reply")
+	out := make(map[string]Versioned, reply.Int("total", reply.Int("n", 0)))
+	for _, part := range append(c.takeChunks(reply.Get("id")), reply) {
+		if err := parseVersionedInto(out, part); err != nil {
+			return nil, 0, err
 		}
-		seq, _ := strconv.ParseUint(reply.Get("s"+idx), 10, 64)
-		out[k] = Versioned{Value: reply.Get("v" + idx), Seq: seq}
 	}
 	ctxSeq, _ := strconv.ParseUint(reply.Get("seq"), 10, 64)
 	return out, ctxSeq, nil
+}
+
+// parseVersionedInto decodes one SNAPV part's k<i>/v<i>/s<i> entries.
+func parseVersionedInto(out map[string]Versioned, part *wire.Message) error {
+	n := part.Int("n", 0)
+	for i := 0; i < n; i++ {
+		idx := strconv.Itoa(i)
+		k, ok := part.Lookup("k" + idx)
+		if !ok {
+			return fmt.Errorf("attrspace: malformed snapshot reply")
+		}
+		seq, _ := strconv.ParseUint(part.Get("s"+idx), 10, 64)
+		out[k] = Versioned{Value: part.Get("v" + idx), Seq: seq}
+	}
+	return nil
+}
+
+// DeltaOp is one replayed mutation from a delta resync (SNAPD).
+type DeltaOp struct {
+	Attr   string
+	Value  string // value written; "" for a delete
+	Seq    uint64
+	Delete bool
+}
+
+// errSNAPDUnsupported marks a SNAPD rejected by a pre-v2 server.
+var errSNAPDUnsupported = errors.New("attrspace: server does not support SNAPD")
+
+// SnapshotDelta asks the server for just the mutations after `since`
+// (the SNAPD delta-resync verb), so reconnect traffic is proportional
+// to the gap, not the context size. Exactly one of ops/full is
+// non-nil: ops carries the replayable delta in seq order; full is the
+// complete versioned snapshot the server fell back to because its
+// change log no longer covers the gap. Both come with the context's
+// current seq. Against a server without the verb it returns
+// errSNAPDUnsupported (latched, like MPUT) and the caller falls back
+// to SnapshotSeq.
+func (c *Client) SnapshotDelta(ctx context.Context, since uint64) (ops []DeltaOp, full map[string]Versioned, ctxSeq uint64, err error) {
+	if c.noSNAPD.Load() || !c.HasCap(wire.CapSnapd) {
+		return nil, nil, 0, errSNAPDUnsupported
+	}
+	reply, err := c.call(ctx, "SNAPD",
+		wire.NewMessage("SNAPD").Set("since", strconv.FormatUint(since, 10)))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if reply.Verb == "ERROR" && strings.Contains(reply.Get("error"), "unknown verb") {
+		c.noSNAPD.Store(true)
+		return nil, nil, 0, errSNAPDUnsupported
+	}
+	if err := replyErr(reply); err != nil {
+		return nil, nil, 0, err
+	}
+	parts := append(c.takeChunks(reply.Get("id")), reply)
+	ctxSeq, _ = strconv.ParseUint(reply.Get("seq"), 10, 64)
+	if reply.Verb != "DELTA" {
+		// Change log compacted past `since`: the server shipped a full
+		// versioned snapshot instead.
+		full = make(map[string]Versioned, reply.Int("total", reply.Int("n", 0)))
+		for _, part := range parts {
+			if err := parseVersionedInto(full, part); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		return nil, full, ctxSeq, nil
+	}
+	// Parts were sent, buffered, and appended in order, and entries
+	// within a part are in order, so ops come out seq-ascending.
+	ops = make([]DeltaOp, 0, reply.Int("total", reply.Int("n", 0)))
+	for _, part := range parts {
+		n := part.Int("n", 0)
+		for i := 0; i < n; i++ {
+			idx := strconv.Itoa(i)
+			k, ok := part.Lookup("k" + idx)
+			if !ok {
+				return nil, nil, 0, fmt.Errorf("attrspace: malformed delta reply")
+			}
+			seq, _ := strconv.ParseUint(part.Get("s"+idx), 10, 64)
+			ops = append(ops, DeltaOp{
+				Attr: k, Value: part.Get("v" + idx), Seq: seq,
+				Delete: part.Get("o"+idx) == "d",
+			})
+		}
+	}
+	return ops, nil, ctxSeq, nil
+}
+
+// Ping performs a wire-level liveness round trip (CapPing). The server
+// answers inline on its read loop, so a timely PONG proves the
+// connection and the peer's dispatch are alive even while bulk replies
+// stream on other goroutines.
+func (c *Client) Ping(ctx context.Context) error {
+	reply, err := c.call(ctx, "PING", wire.NewMessage("PING"))
+	if err != nil {
+		return err
+	}
+	return replyErr(reply)
 }
 
 // parseSnap decodes a SNAPV reply's k0/v0.. pairs.

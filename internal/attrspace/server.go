@@ -71,6 +71,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -85,8 +86,12 @@ import (
 // serverVerbs are the request verbs the server counts and times; one
 // counter "attrspace.ops.<verb>" and one latency histogram
 // "attrspace.latency.<verb>" exist per verb.
-var serverVerbs = []string{"hello", "put", "mput", "get", "tryget", "delete", "snap", "sub", "stats",
-	"gput", "gmput", "gget", "gtryget", "gdel", "gsnap"}
+var serverVerbs = []string{"hello", "put", "mput", "get", "tryget", "delete", "snap", "snapd", "sub",
+	"stats", "ping", "gput", "gmput", "gget", "gtryget", "gdel", "gsnap"}
+
+// defaultServerCaps are the transport-v2 capabilities a server grants
+// when the client offers them; see Server.SetCaps.
+var defaultServerCaps = []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing}
 
 // verbMetrics caches one verb's hot-path metric handles.
 type verbMetrics struct {
@@ -123,14 +128,18 @@ type telemetryHandles struct {
 type Server struct {
 	space *attr.Space
 
-	// mu guards connection lifecycle (listener/conns/closed) and
+	// mu guards connection lifecycle (listeners/conns/closed) and
 	// serializes SetTelemetry stores. It is NOT taken on the request
 	// fast path — per-request observation goes through tel.
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[*serverConn]struct{}
-	closed   bool
-	draining bool // Shutdown in progress; Serve exits cleanly
+	mu        sync.Mutex
+	listeners []net.Listener // every Serve'd listener (tcp and/or unix)
+	conns     map[*serverConn]struct{}
+	closed    bool
+	draining  bool // Shutdown in progress; Serve exits cleanly
+
+	// caps is the transport-v2 capability set this server grants; see
+	// SetCaps. Never nil after NewServer.
+	caps atomic.Pointer[[]string]
 
 	// inflight counts requests currently inside their synchronous
 	// dispatch (reply not yet written). Blocked GETs hand off to a
@@ -168,8 +177,31 @@ func NewServerWithSpace(space *attr.Space) *Server {
 		conns: make(map[*serverConn]struct{}),
 	}
 	s.evBuf.Store(DefaultEventBuffer)
+	s.caps.Store(&defaultServerCaps)
 	s.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("attrspace"))
 	return s
+}
+
+// SetCaps replaces the transport-v2 capability set this server is
+// willing to grant on HELLO. Callers pass wire.CapMux etc.; passing
+// none makes the server behave exactly like a pre-v2 build (SNAPD and
+// PING answered with unknown-verb errors, no mux, no chunking) — the
+// interop tests use that to simulate a v1 peer.
+func (s *Server) SetCaps(caps ...string) {
+	cp := append([]string(nil), caps...)
+	s.caps.Store(&cp)
+}
+
+// Caps returns the capability set granted on HELLO.
+func (s *Server) Caps() []string { return *s.caps.Load() }
+
+func (s *Server) capEnabled(name string) bool {
+	for _, c := range *s.caps.Load() {
+		if c == name {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultEventBuffer is the per-subscription fan-out ring size used
@@ -307,7 +339,7 @@ func (s *Server) Serve(l net.Listener) error {
 		l.Close()
 		return nil
 	}
-	s.listener = l
+	s.listeners = append(s.listeners, l)
 	s.mu.Unlock()
 	for {
 		c, err := l.Accept()
@@ -347,13 +379,14 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	l := s.listener
+	ls := s.listeners
+	s.listeners = nil
 	conns := make([]*serverConn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	if l != nil {
+	for _, l := range ls {
 		l.Close()
 	}
 	for _, c := range conns {
@@ -378,13 +411,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
-	l := s.listener
+	ls := s.listeners
 	conns := make([]*serverConn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	if l != nil {
+	for _, l := range ls {
 		l.Close()
 	}
 	for _, c := range conns {
@@ -475,9 +508,24 @@ type serverConn struct {
 	wc  *wire.Conn
 	raw net.Conn
 
-	mu  sync.Mutex
-	ref *attr.Ref // joined context, nil until HELLO
-	sub *attr.Subscription
+	mu   sync.Mutex
+	ref  *attr.Ref // joined context, nil until HELLO
+	sub  *attr.Subscription
+	caps map[string]bool // capabilities granted on HELLO; nil = v1 peer
+	mux  *wire.Mux       // non-nil once CapMux granted
+}
+
+// muxer returns the connection's mux, or nil before CapMux was granted.
+func (c *serverConn) muxer() *wire.Mux {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mux
+}
+
+func (c *serverConn) capGranted(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.caps[name]
 }
 
 func (c *serverConn) run() {
@@ -507,7 +555,15 @@ func (c *serverConn) run() {
 	m := new(wire.Message)
 	for {
 		if err := c.wc.RecvInto(m); err != nil {
+			if x := c.muxer(); x != nil {
+				x.Fail(err) // wake event/chunk senders blocked on windows
+			}
 			return // disconnect
+		}
+		if x := c.muxer(); x != nil {
+			if _, handled := x.Accept(m); handled {
+				continue // pure transport (WINUP), nothing to dispatch
+			}
 		}
 		// The inflight window covers only the synchronous part of the
 		// dispatch: once dispatch returns, any still-pending reply
@@ -530,10 +586,21 @@ func (c *serverConn) dispatch(ctx context.Context, m *wire.Message) bool {
 	case "HELLO":
 		done := srv.observe("hello")
 		name := m.Get("context")
+		// Capability negotiation: grant the intersection of what the
+		// client offered and what this server speaks. A v1 client sends
+		// no caps field and gets none back; a v1 server ignores the
+		// field entirely — either way both ends stay on v1 behavior.
+		granted := wire.IntersectCaps(m.Get("caps"), srv.Caps())
 		c.mu.Lock()
 		already := c.ref != nil
 		if !already {
 			c.ref = srv.space.Join(name)
+			if granted != "" {
+				c.caps = wire.ParseCaps(granted)
+				if c.caps[wire.CapMux] {
+					c.mux = wire.NewMux(c.wc, wire.MuxConfig{Registry: srv.tel.Load().reg})
+				}
+			}
 		}
 		c.mu.Unlock()
 		if already {
@@ -541,24 +608,52 @@ func (c *serverConn) dispatch(ctx context.Context, m *wire.Message) bool {
 			done()
 			return false
 		}
-		c.reply(wire.NewMessage("OK").Set("id", m.Get("id")))
+		ok := wire.NewMessage("OK").Set("id", m.Get("id"))
+		if granted != "" {
+			ok.Set("caps", granted)
+		}
+		c.reply(ok)
 		done()
 	case "EXIT":
 		return true
+	case "PING":
+		// Wire-level liveness probe (CapPing). Answered inline on the
+		// read loop — which is the point: a client's heartbeat must get
+		// through even while bulk replies stream from side goroutines.
+		if !srv.capEnabled(wire.CapPing) {
+			c.unknownVerb(m) // a pre-v2 server would not know PING
+			return false
+		}
+		done := srv.observe("ping")
+		c.reply(wire.NewMessage("PONG").Set("id", m.Get("id")))
+		done()
+		return false
 	case "STATS":
 		// STATS needs no context: it reports on the daemon, not on
 		// any attribute space, so monitoring tools can probe a
 		// server without joining (and without bumping refcounts).
 		c.handleStats(m)
+	case "SNAPD":
+		if !srv.capEnabled(wire.CapSnapd) {
+			c.unknownVerb(m) // a pre-v2 server would not know SNAPD
+			return false
+		}
+		c.handleOp(ctx, m)
 	case "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
 		c.handleOp(ctx, m)
 	case "GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP":
 		c.handleGlobal(ctx, m)
 	default:
-		c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).
-			Set("error", fmt.Sprintf("unknown verb %q", m.Verb)))
+		c.unknownVerb(m)
 	}
 	return false
+}
+
+// unknownVerb is the v1-compat fallback reply: clients probe new verbs
+// and latch off the ones a server rejects this way.
+func (c *serverConn) unknownVerb(m *wire.Message) {
+	c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).
+		Set("error", fmt.Sprintf("unknown verb %q", m.Verb)))
 }
 
 // startSpan opens this daemon's span for a request when the caller
@@ -688,6 +783,33 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		}
 		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
 		finish()
+	case "SNAPD":
+		// Delta resync: ship only the mutations after the client's seq
+		// watermark, falling back to a full versioned snapshot when the
+		// bounded change log no longer covers the gap.
+		since, perr := strconv.ParseUint(m.Get("since"), 10, 64)
+		if perr != nil {
+			c.replyErr(id, fmt.Errorf("snapd: bad since %q", m.Get("since")))
+			finish()
+			return
+		}
+		changes, ctxSeq, covered, err := ref.ChangesSince(since)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		if !covered {
+			snap, ctxSeq, err := ref.SnapshotSeq()
+			if err != nil {
+				c.replyErr(id, err)
+				finish()
+				return
+			}
+			c.sendEntryChunks("SNAPV", id, versionedEntries(snap), ctxSeq, finish)
+			return
+		}
+		c.sendEntryChunks("DELTA", id, deltaEntries(changes), ctxSeq, finish)
 	case "SNAP":
 		// seqs=1 asks for the versioned form: each entry carries its
 		// write seq (s<i>) and the reply carries the context seq, which
@@ -700,17 +822,7 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 				finish()
 				return
 			}
-			reply := wire.NewMessage("SNAPV").Set("id", id).SetInt("n", len(snap)).
-				Set("seq", strconv.FormatUint(ctxSeq, 10))
-			i := 0
-			for k, v := range snap {
-				reply.Set("k"+strconv.Itoa(i), k)
-				reply.Set("v"+strconv.Itoa(i), v.Value)
-				reply.Set("s"+strconv.Itoa(i), strconv.FormatUint(v.Seq, 10))
-				i++
-			}
-			c.reply(reply)
-			finish()
+			c.sendEntryChunks("SNAPV", id, versionedEntries(snap), ctxSeq, finish)
 			return
 		}
 		snap, err := ref.Snapshot()
@@ -780,6 +892,94 @@ func decodeBatch(m *wire.Message) ([]attr.KV, error) {
 	return pairs, nil
 }
 
+// SnapChunkEntries is the entry-count threshold above which versioned
+// snapshot and delta replies are split into part/more chunks when the
+// client negotiated CapChunk. 256 entries keep each frame well under
+// 64KiB for typical attribute sizes while leaving few enough parts
+// that chunking overhead is negligible.
+const SnapChunkEntries = 256
+
+// snapEntry is one attribute in a snapshot or delta reply.
+type snapEntry struct {
+	k, v string
+	seq  uint64
+	del  bool
+}
+
+func versionedEntries(snap map[string]attr.Versioned) []snapEntry {
+	out := make([]snapEntry, 0, len(snap))
+	for k, v := range snap {
+		out = append(out, snapEntry{k: k, v: v.Value, seq: v.Seq})
+	}
+	return out
+}
+
+func deltaEntries(changes []attr.Change) []snapEntry {
+	out := make([]snapEntry, 0, len(changes))
+	for _, ch := range changes {
+		out = append(out, snapEntry{k: ch.Attr, v: ch.Value, seq: ch.Seq, del: ch.Delete})
+	}
+	return out
+}
+
+func appendEntries(m *wire.Message, entries []snapEntry) {
+	for i, e := range entries {
+		idx := strconv.Itoa(i)
+		m.Set("k"+idx, e.k)
+		if e.del {
+			m.Set("o"+idx, "d")
+		} else {
+			m.Set("v"+idx, e.v)
+		}
+		m.Set("s"+idx, strconv.FormatUint(e.seq, 10))
+	}
+}
+
+// sendEntryChunks streams entries as `verb` replies. Small replies (or
+// v1 peers) get the single-message form. Large replies with CapChunk
+// granted are split into parts of SnapChunkEntries each and sent from
+// their own goroutine on the bulk stream, so the read loop keeps
+// servicing the connection — PING heartbeats and window updates
+// interleave with the replay instead of queueing behind it. finish is
+// called once the last part (or the single reply) is out.
+func (c *serverConn) sendEntryChunks(verb, id string, entries []snapEntry, ctxSeq uint64, finish func()) {
+	seqStr := strconv.FormatUint(ctxSeq, 10)
+	if len(entries) <= SnapChunkEntries || !c.capGranted(wire.CapChunk) {
+		m := wire.NewMessage(verb).Set("id", id).SetInt("n", len(entries)).Set("seq", seqStr)
+		appendEntries(m, entries)
+		c.reply(m)
+		finish()
+		return
+	}
+	x := c.muxer()
+	go func() {
+		defer finish()
+		total := len(entries)
+		for lo := 0; lo < total; lo += SnapChunkEntries {
+			hi := lo + SnapChunkEntries
+			if hi > total {
+				hi = total
+			}
+			m := wire.NewMessage(verb).Set("id", id).SetInt("n", hi-lo).
+				Set("seq", seqStr).SetInt("part", lo/SnapChunkEntries).SetInt("total", total)
+			if hi < total {
+				m.Set("more", "1")
+			}
+			appendEntries(m, entries[lo:hi])
+			var err error
+			if x != nil {
+				err = x.SendOn(wire.StreamBulk, m)
+			} else {
+				err = c.wc.Send(m)
+			}
+			if err != nil {
+				c.srv.log().Debugf("attrspace: chunked %s to %v failed: %v", verb, c.raw.RemoteAddr(), err)
+				return
+			}
+		}
+	}()
+}
+
 // pushEvents forwards subscription updates to the peer. Bursts (a
 // batched put, a publisher faster than the network) are drained under
 // one Cork so the whole burst leaves in a single write. Once per burst
@@ -788,6 +988,10 @@ func decodeBatch(m *wire.Message) ([]attr.KV, error) {
 // consumer knows its picture has a gap.
 func (c *serverConn) pushEvents(sub *attr.Subscription) {
 	tel := c.srv.tel.Load()
+	// The mux (fixed by HELLO, which precedes any SUB) puts events on
+	// their own flow-controlled stream: a subscriber that stops reading
+	// stalls only this goroutine, never the request/reply path.
+	x := c.muxer()
 	updates := sub.Updates()
 	var reportedLost, reportedCoal uint64
 	for u := range updates {
@@ -803,7 +1007,7 @@ func (c *serverConn) pushEvents(sub *attr.Subscription) {
 		}
 		tel.evDepth.Set(int64(sub.Depth()))
 		c.wc.Cork()
-		err := c.sendEvent(u, lostDelta)
+		err := c.sendEvent(x, u, lostDelta)
 		sent := 1
 	drain:
 		for err == nil {
@@ -812,7 +1016,7 @@ func (c *serverConn) pushEvents(sub *attr.Subscription) {
 				if !ok {
 					break drain
 				}
-				err = c.sendEvent(u, 0)
+				err = c.sendEvent(x, u, 0)
 				sent++
 			default:
 				break drain
@@ -828,7 +1032,7 @@ func (c *serverConn) pushEvents(sub *attr.Subscription) {
 	}
 }
 
-func (c *serverConn) sendEvent(u attr.Update, lost uint64) error {
+func (c *serverConn) sendEvent(x *wire.Mux, u attr.Update, lost uint64) error {
 	m := wire.NewMessage("EVENT").
 		Set("attr", u.Attr).
 		Set("value", u.Value).
@@ -836,6 +1040,9 @@ func (c *serverConn) sendEvent(u attr.Update, lost uint64) error {
 		Set("seq", strconv.FormatUint(u.Seq, 10))
 	if lost > 0 {
 		m.Set("lost", strconv.FormatUint(lost, 10))
+	}
+	if x != nil {
+		return x.SendOn(wire.StreamEvents, m)
 	}
 	return c.wc.Send(m)
 }
@@ -960,7 +1167,16 @@ func (c *serverConn) handleGlobal(ctx context.Context, m *wire.Message) {
 }
 
 func (c *serverConn) reply(m *wire.Message) {
-	if err := c.wc.Send(m); err != nil {
+	// Replies ride the control stream; routing them through the mux
+	// piggybacks accumulated credit grants on traffic the client was
+	// waiting for anyway.
+	var err error
+	if x := c.muxer(); x != nil {
+		err = x.SendOn(wire.StreamControl, m)
+	} else {
+		err = c.wc.Send(m)
+	}
+	if err != nil {
 		c.srv.log().Debugf("attrspace: send to %v failed: %v", c.raw.RemoteAddr(), err)
 	}
 }
@@ -969,10 +1185,19 @@ func (c *serverConn) replyErr(id string, err error) {
 	c.reply(wire.NewMessage("ERROR").Set("id", id).Set("error", err.Error()))
 }
 
-// ListenAndServe starts the server on a real TCP address and returns
-// the bound address. Used by cmd/lassd and cmd/cassd.
+// ListenAndServe starts the server on a network address and returns
+// the bound address. A plain host:port listens on TCP; the form
+// "unix:/path/to.sock" listens on a unix-domain socket (the same-host
+// fast path — stale socket files from a crashed predecessor are
+// removed first). Used by cmd/lassd and cmd/cassd; a daemon may call
+// it more than once to serve TCP and unix simultaneously.
 func (s *Server) ListenAndServe(addr string) (string, error) {
-	l, err := net.Listen("tcp", addr)
+	network, address := "tcp", addr
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, address = "unix", path
+		os.Remove(path)
+	}
+	l, err := net.Listen(network, address)
 	if err != nil {
 		return "", err
 	}
@@ -981,5 +1206,21 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 			s.log().Errorf("attrspace: serve: %v", err)
 		}
 	}()
+	if network == "unix" {
+		return "unix:" + l.Addr().String(), nil
+	}
 	return l.Addr().String(), nil
+}
+
+// ListenUnixBeside derives the conventional same-host socket path for a
+// TCP address this server is already serving and listens there too, so
+// local clients can skip the TCP stack (see AutoDial). It returns the
+// "unix:..." address, or "" with a nil error when the TCP address has
+// no usable port.
+func (s *Server) ListenUnixBeside(tcpAddr string) (string, error) {
+	path := SocketPathFor(tcpAddr)
+	if path == "" {
+		return "", nil
+	}
+	return s.ListenAndServe("unix:" + path)
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tdp/internal/telemetry"
+	"tdp/internal/wire"
 )
 
 // API is the attribute-space surface the tdp layer programs against:
@@ -109,6 +110,12 @@ type SessionConfig struct {
 	// DialTimeout bounds each individual dial + HELLO round trip.
 	// 0 = 3s.
 	DialTimeout time.Duration
+	// Heartbeat, when > 0, pings the server at this interval on every
+	// live connection and declares the connection lost when a ping gets
+	// no reply within one interval — catching half-dead transports that
+	// never produce a read error. Silently inactive against servers
+	// that did not grant the ping capability. 0 = disabled.
+	Heartbeat time.Duration
 	// Seed seeds the jitter RNG so tests are deterministic; 0 seeds
 	// from the clock.
 	Seed int64
@@ -403,6 +410,12 @@ func (s *Session) install(c *Client) bool {
 	// The loss trigger arms after publication: if the client is already
 	// dead, OnClose fires immediately and tears this generation down.
 	c.OnClose(func(error) { s.lost(gen, c) })
+	// The heartbeat starts before the resync on purpose: pings running
+	// concurrently with a large snapshot replay are exactly the traffic
+	// the server's chunked replies exist to keep answering.
+	if s.cfg.Heartbeat > 0 {
+		go s.heartbeatLoop(gen, c)
+	}
 	if subbed {
 		// SUB is live on the new connection; diff a versioned snapshot
 		// against what consumers have already seen and replay the gap.
@@ -573,14 +586,68 @@ func (s *Session) forwardLocked(ev Event) {
 // destroy, then the snapshot replayed as the new truth.
 func (s *Session) resync(c *Client, preSeq uint64) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DialTimeout)
+	defer cancel()
+	if preSeq > 0 {
+		ops, full, ctxSeq, err := c.SnapshotDelta(ctx, preSeq)
+		switch {
+		case err == nil && full != nil:
+			// The server's change log was compacted past our gap and it
+			// shipped the whole context instead.
+			s.applyFullResync(full, ctxSeq, preSeq)
+			return
+		case err == nil && ctxSeq >= preSeq:
+			s.applyDelta(ops, ctxSeq)
+			return
+		case err == nil:
+			// ctxSeq < preSeq: the context was destroyed and recreated
+			// while we were away. The delta is from the wrong seq epoch;
+			// only a full snapshot can establish the new one.
+		case errors.Is(err, errSNAPDUnsupported):
+			// Pre-v2 server: fall through to the full snapshot path.
+		default:
+			// A transport error here fails the client, which re-triggers
+			// the reconnect loop — the next install resyncs again.
+			s.log().Debugf("attrspace: session delta resync failed: %v", err)
+			return
+		}
+	}
 	snap, ctxSeq, err := c.SnapshotSeq(ctx)
-	cancel()
 	if err != nil {
-		// A transport error here fails the client, which re-triggers
-		// the reconnect loop — the next install resyncs again.
 		s.log().Debugf("attrspace: session resync snapshot failed: %v", err)
 		return
 	}
+	s.applyFullResync(snap, ctxSeq, preSeq)
+}
+
+// applyDelta replays a server-shipped mutation log covering the
+// reconnect gap: traffic proportional to what was missed, not to the
+// context size. Deletes arrive explicitly, so no presence diff against
+// consumer state is needed.
+func (s *Session) applyDelta(ops []DeltaOp, ctxSeq uint64) {
+	s.cResyncs.Inc()
+	s.noteSeq(ctxSeq)
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.forwardLocked(Event{Op: "resync", Seq: ctxSeq, Resync: true})
+	for _, op := range ops {
+		if mark, ok := s.seqs[op.Attr]; ok && op.Seq <= mark.seq {
+			continue // the new subscription already delivered this (or newer)
+		}
+		s.seqs[op.Attr] = seqMark{seq: op.Seq, dead: op.Delete}
+		evOp := "put"
+		if op.Delete {
+			evOp = "delete"
+		}
+		s.forwardLocked(Event{Attr: op.Attr, Value: op.Value, Op: evOp, Seq: op.Seq, Resync: true})
+	}
+	if ctxSeq > s.ctxSeq {
+		s.ctxSeq = ctxSeq
+	}
+}
+
+// applyFullResync diffs a complete versioned snapshot against what
+// consumers have seen and replays the difference (see resync).
+func (s *Session) applyFullResync(snap map[string]Versioned, ctxSeq, preSeq uint64) {
 	s.cResyncs.Inc()
 	s.noteSeq(ctxSeq)
 	s.emitMu.Lock()
@@ -617,6 +684,40 @@ func (s *Session) resync(c *Client, preSeq uint64) {
 	}
 	if ctxSeq > s.ctxSeq {
 		s.ctxSeq = ctxSeq
+	}
+}
+
+// heartbeatLoop probes one connection generation with periodic PINGs,
+// retiring it through the normal loss path when a probe times out. It
+// runs alongside everything else the connection does — including a
+// chunked snapshot replay, which is why large resyncs no longer read
+// as dead transports.
+func (s *Session) heartbeatLoop(gen uint64, c *Client) {
+	if !c.HasCap(wire.CapPing) {
+		return
+	}
+	t := time.NewTicker(s.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-s.done:
+			return
+		}
+		s.mu.Lock()
+		live := s.err == nil && s.gen == gen && s.cur == c
+		s.mu.Unlock()
+		if !live {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Heartbeat)
+		err := c.Ping(ctx)
+		cancel()
+		if err != nil {
+			s.log().Debugf("attrspace: session heartbeat to %s failed (gen %d): %v", s.cfg.Addr, gen, err)
+			s.lost(gen, c)
+			return
+		}
 	}
 }
 

@@ -1,0 +1,58 @@
+package attrspace
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file holds the same-host fast path: LASS/CASS daemons listen on
+// a unix-domain socket beside their TCP port (ListenUnixBeside), and
+// AutoDial transparently prefers that socket when the endpoint is
+// local. The dominant TDP hop — AP or paradynd talking to the LASS on
+// the same execution host — then skips the TCP stack entirely while
+// remote clients keep using TCP, with no configuration on either side.
+
+// SocketPathFor derives the conventional unix socket path paired with
+// a TCP listen address: tdp-attr-<port>.sock in the system temp
+// directory. Server and clients derive the same path independently, so
+// no discovery round is needed. Returns "" when the address has no
+// usable port.
+func SocketPathFor(tcpAddr string) string {
+	_, port, err := net.SplitHostPort(tcpAddr)
+	if err != nil || port == "" || port == "0" {
+		return ""
+	}
+	return filepath.Join(os.TempDir(), "tdp-attr-"+port+".sock")
+}
+
+// isLoopbackHost reports whether a dial-address host names this
+// machine. Only loopback forms qualify — a resolvable remote hostname
+// must never be mistaken for local, or the dialer would connect to an
+// unrelated local daemon that happens to share the port.
+func isLoopbackHost(host string) bool {
+	if host == "" || host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+// AutoDial is the default DialFunc: "unix:/path" dials that socket
+// directly; a loopback TCP address first tries the conventional
+// same-host socket (SocketPathFor) and falls back to TCP when no local
+// daemon is listening there. Non-loopback addresses always use TCP.
+func AutoDial(addr string) (net.Conn, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Dial("unix", path)
+	}
+	if host, _, err := net.SplitHostPort(addr); err == nil && isLoopbackHost(host) {
+		if path := SocketPathFor(addr); path != "" {
+			if conn, err := net.Dial("unix", path); err == nil {
+				return conn, nil
+			}
+		}
+	}
+	return net.Dial("tcp", addr)
+}

@@ -1,0 +1,426 @@
+package attrspace
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tdp/internal/attr"
+	"tdp/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Capability negotiation.
+
+func TestCapsNegotiated(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr, "job1")
+	for _, cap := range []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing} {
+		if !c.HasCap(cap) {
+			t.Errorf("HasCap(%s) = false against a v2 server", cap)
+		}
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Errorf("Ping: %v", err)
+	}
+}
+
+func TestCapsAgainstV1Server(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.SetCaps() // simulate a pre-v2 server: grant nothing
+	c := dialT(t, addr, "job1")
+	for _, cap := range []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing} {
+		if c.HasCap(cap) {
+			t.Errorf("HasCap(%s) = true against a v1 server", cap)
+		}
+	}
+	// The v1 surface still works end to end.
+	if err := c.Put("pid", "42"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if v, err := c.TryGet("pid"); err != nil || v != "42" {
+		t.Fatalf("TryGet = %q, %v", v, err)
+	}
+	if err := c.Ping(context.Background()); err == nil {
+		t.Error("Ping against a v1 server succeeded; want unknown-verb error")
+	}
+}
+
+// TestV1ClientAgainstV2Server drives the server with a raw pre-v2
+// client: HELLO without a caps offer must yield an OK without caps, and
+// a large SNAP must come back as one inline SNAPV (no chunk framing the
+// old client would not understand).
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	_, addr := startServer(t)
+	seed := dialT(t, addr, "job1")
+	var pairs []KV
+	for i := 0; i < SnapChunkEntries*2; i++ {
+		pairs = append(pairs, KV{Key: fmt.Sprintf("a%04d", i), Value: "v"})
+	}
+	if err := seed.PutBatch(pairs); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer raw.Close()
+	wc := wire.NewConn(raw)
+	if err := wc.Send(wire.NewMessage("HELLO").Set("context", "job1").Set("id", "1")); err != nil {
+		t.Fatalf("HELLO: %v", err)
+	}
+	ok, err := wc.Recv()
+	if err != nil || ok.Verb != "OK" {
+		t.Fatalf("HELLO reply = %v, %v", ok, err)
+	}
+	if got := ok.Get("caps"); got != "" {
+		t.Fatalf("server granted caps %q to a client that offered none", got)
+	}
+	if err := wc.Send(wire.NewMessage("SNAP").Set("id", "2").Set("seqs", "1")); err != nil {
+		t.Fatalf("SNAP: %v", err)
+	}
+	snap, err := wc.Recv()
+	if err != nil || snap.Verb != "SNAPV" {
+		t.Fatalf("SNAP reply = %v, %v", snap, err)
+	}
+	if snap.Get("more") != "" || snap.Get("part") != "" {
+		t.Errorf("v1 client got a chunked snapshot part: more=%q part=%q", snap.Get("more"), snap.Get("part"))
+	}
+	if n := snap.Int("n", -1); n != len(pairs) {
+		t.Errorf("inline snapshot n = %d, want %d", n, len(pairs))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Delta resync (SNAPD).
+
+func TestSnapshotDeltaReplaysOnlyTheGap(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr, "job1")
+	for i := 0; i < 50; i++ {
+		if err := c.Put(fmt.Sprintf("base%02d", i), "v"); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	_, since, err := c.SnapshotSeq(context.Background())
+	if err != nil {
+		t.Fatalf("SnapshotSeq: %v", err)
+	}
+	// The gap: two puts and a delete.
+	if err := c.Put("new1", "x"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := c.Put("new2", "y"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := c.Delete("base00"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+
+	ops, full, ctxSeq, err := c.SnapshotDelta(context.Background(), since)
+	if err != nil {
+		t.Fatalf("SnapshotDelta: %v", err)
+	}
+	if full != nil {
+		t.Fatalf("SnapshotDelta fell back to a full snapshot for a covered gap")
+	}
+	if len(ops) != 3 {
+		t.Fatalf("delta = %d ops, want 3: %+v", len(ops), ops)
+	}
+	if ops[0].Attr != "new1" || ops[0].Value != "x" || ops[0].Delete {
+		t.Errorf("ops[0] = %+v", ops[0])
+	}
+	if ops[2].Attr != "base00" || !ops[2].Delete {
+		t.Errorf("ops[2] = %+v, want delete of base00", ops[2])
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Seq <= ops[i-1].Seq {
+			t.Errorf("delta out of seq order: %+v", ops)
+		}
+	}
+	if ctxSeq != ops[2].Seq {
+		t.Errorf("ctxSeq = %d, want %d", ctxSeq, ops[2].Seq)
+	}
+}
+
+func TestSnapshotDeltaCompactedFallsBackToFull(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr, "job1")
+	if err := c.Put("early", "1"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	_, since, err := c.SnapshotSeq(context.Background())
+	if err != nil {
+		t.Fatalf("SnapshotSeq: %v", err)
+	}
+	// Push the change log far past its compaction bound so `since` falls
+	// off the retained tail.
+	var pairs []KV
+	for i := 0; i < 2100; i++ {
+		pairs = append(pairs, KV{Key: fmt.Sprintf("k%04d", i%40), Value: fmt.Sprintf("v%d", i)})
+	}
+	if err := c.PutBatch(pairs); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+
+	ops, full, ctxSeq, err := c.SnapshotDelta(context.Background(), since)
+	if err != nil {
+		t.Fatalf("SnapshotDelta: %v", err)
+	}
+	if ops != nil || full == nil {
+		t.Fatalf("want full-snapshot fallback for a compacted gap, got %d ops, full=%v", len(ops), full != nil)
+	}
+	if len(full) != 41 { // "early" + 40 k-slots
+		t.Errorf("full snapshot = %d entries, want 41", len(full))
+	}
+	if ctxSeq == 0 {
+		t.Error("fallback snapshot carried no context seq")
+	}
+}
+
+func TestSnapshotDeltaAgainstV1Server(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.SetCaps()
+	c := dialT(t, addr, "job1")
+	if _, _, _, err := c.SnapshotDelta(context.Background(), 0); err == nil {
+		t.Fatal("SnapshotDelta against a v1 server succeeded; want unsupported error")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chunked snapshot replies.
+
+func TestChunkedSnapshotReassembly(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr, "job1")
+	n := SnapChunkEntries*2 + 37 // forces 3 parts
+	var pairs []KV
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, KV{Key: fmt.Sprintf("attr%04d", i), Value: fmt.Sprintf("val%d", i)})
+	}
+	if err := c.PutBatch(pairs); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	snap, ctxSeq, err := c.SnapshotSeq(context.Background())
+	if err != nil {
+		t.Fatalf("SnapshotSeq: %v", err)
+	}
+	if len(snap) != n {
+		t.Fatalf("reassembled snapshot = %d entries, want %d", len(snap), n)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("attr%04d", i)
+		v, ok := snap[k]
+		if !ok || v.Value != fmt.Sprintf("val%d", i) {
+			t.Fatalf("snap[%s] = %+v, %v", k, v, ok)
+		}
+	}
+	if ctxSeq == 0 {
+		t.Error("chunked snapshot carried no context seq")
+	}
+	// A delta over a wide gap chunks too; it must reassemble in order.
+	ops, full, _, err := c.SnapshotDelta(context.Background(), 0)
+	if err != nil || full != nil {
+		t.Fatalf("SnapshotDelta(0) = full=%v, %v", full != nil, err)
+	}
+	if len(ops) != n {
+		t.Fatalf("chunked delta = %d ops, want %d", len(ops), n)
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Seq <= ops[i-1].Seq {
+			t.Fatalf("chunked delta out of order at %d: %d after %d", i, ops[i].Seq, ops[i-1].Seq)
+		}
+	}
+}
+
+// TestSnapshotInterleavesWithPing is the heartbeat-starvation check at
+// the protocol level: while a multi-part snapshot streams on the bulk
+// stream, a PING issued mid-replay must come back without waiting for
+// the replay to finish.
+func TestSnapshotInterleavesWithPing(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr, "job1")
+	var pairs []KV
+	for i := 0; i < SnapChunkEntries*8; i++ {
+		pairs = append(pairs, KV{Key: fmt.Sprintf("attr%05d", i), Value: "x"})
+	}
+	if err := c.PutBatch(pairs); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		snap, _, err := c.SnapshotSeq(context.Background())
+		if err == nil && len(snap) != len(pairs) {
+			err = fmt.Errorf("snapshot = %d entries, want %d", len(snap), len(pairs))
+		}
+		done <- err
+	}()
+	// Pings racing the replay: each must complete promptly.
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := c.Ping(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("Ping during snapshot replay: %v", err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Same-host fast path.
+
+func TestUnixSocketRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdp.sock")
+	srv := NewServer()
+	bound, err := srv.ListenAndServe("unix:" + path)
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	if bound != "unix:"+path {
+		t.Fatalf("bound = %q", bound)
+	}
+	c := dialT(t, bound, "job1")
+	if err := c.Put("pid", "7"); err != nil {
+		t.Fatalf("Put over unix socket: %v", err)
+	}
+	if v, err := c.TryGet("pid"); err != nil || v != "7" {
+		t.Fatalf("TryGet = %q, %v", v, err)
+	}
+	if !c.HasCap(wire.CapMux) {
+		t.Error("caps not negotiated over the unix transport")
+	}
+}
+
+func TestAutoDialPrefersUnixBeside(t *testing.T) {
+	srv, addr := startServer(t)
+	side, err := srv.ListenUnixBeside(addr)
+	if err != nil {
+		t.Fatalf("ListenUnixBeside: %v", err)
+	}
+	if side == "" {
+		t.Fatal("ListenUnixBeside derived no socket for a bound TCP address")
+	}
+	conn, err := AutoDial(addr)
+	if err != nil {
+		t.Fatalf("AutoDial: %v", err)
+	}
+	defer conn.Close()
+	if got := conn.RemoteAddr().Network(); got != "unix" {
+		t.Fatalf("AutoDial used %s for a loopback address with a live side socket", got)
+	}
+	// And the full protocol stack rides it.
+	c := dialT(t, addr, "job1")
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+}
+
+func TestAutoDialFallsBackToTCP(t *testing.T) {
+	_, addr := startServer(t) // no unix side socket
+	conn, err := AutoDial(addr)
+	if err != nil {
+		t.Fatalf("AutoDial: %v", err)
+	}
+	defer conn.Close()
+	if got := conn.RemoteAddr().Network(); got != "tcp" {
+		t.Fatalf("AutoDial network = %s, want tcp fallback", got)
+	}
+}
+
+func TestSocketPathFor(t *testing.T) {
+	if p := SocketPathFor("127.0.0.1:4510"); p == "" {
+		t.Error("no path for a normal host:port")
+	}
+	for _, bad := range []string{"", "nohost", "127.0.0.1:0", "host:"} {
+		if p := SocketPathFor(bad); p != "" {
+			t.Errorf("SocketPathFor(%q) = %q, want empty", bad, p)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mux fan-out: a blocked GET must not stall event delivery.
+
+func TestEventsFlowWhileGetBlocks(t *testing.T) {
+	_, addr := startServer(t)
+	watcher := dialT(t, addr, "job1")
+	writer := dialT(t, addr, "job1")
+	if err := watcher.Subscribe(); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	var events atomic.Int64
+	watcher.SetEventHandler(func(Event) { events.Add(1) })
+
+	// A GET for an attribute nobody ever writes parks server-side.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		watcher.Get(ctx, "never-written")
+	}()
+
+	for i := 0; i < 100; i++ {
+		if err := writer.Put(fmt.Sprintf("e%02d", i), "v"); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for events.Load() < 100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := events.Load(); got < 100 {
+		t.Fatalf("watcher saw %d events while a GET was parked, want 100", got)
+	}
+	cancel()
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Change-log plumbing end to end: mutations through the server land in
+// the per-context log that SNAPD serves from.
+
+func TestServerMutationsFeedChangeLog(t *testing.T) {
+	space := attr.NewSpace()
+	srv := NewServerWithSpace(space)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	c := dialT(t, l.Addr().String(), "job1")
+	if err := c.Put("a", "1"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := c.PutBatch([]KV{{Key: "b", Value: "2"}, {Key: "c", Value: "3"}}); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if err := c.Delete("a"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	ref := space.Join("job1")
+	defer ref.Leave()
+	changes, _, ok, err := ref.ChangesSince(0)
+	if err != nil || !ok {
+		t.Fatalf("ChangesSince = ok=%v, %v", ok, err)
+	}
+	if len(changes) != 4 {
+		t.Fatalf("change log = %d entries, want 4: %+v", len(changes), changes)
+	}
+	last := changes[len(changes)-1]
+	if last.Attr != "a" || !last.Delete {
+		t.Errorf("last change = %+v, want delete of a", last)
+	}
+}

@@ -93,6 +93,7 @@ type Node struct {
 
 	mu           sync.Mutex
 	up           *wire.Conn
+	upMux        *wire.Mux // non-nil once the parent granted the mux cap
 	reconnecting bool
 	children     map[string]*childState
 	totals       map[string]paradyn.FuncStats
@@ -215,7 +216,11 @@ func (n *Node) connectUpstream(resume bool) error {
 		Set("kind", "node").
 		Set("executable", fmt.Sprintf("aggregate(%d children)", children)).
 		SetInt("pid", 0).
-		SetInt("rank", 0)
+		SetInt("rank", 0).
+		// Offer the transport-v2 mux. A parent node acks with OK
+		// caps=mux and the uplink upgrades; the real front-end ignores
+		// the field and everything stays v1.
+		Set("caps", wire.CapMux)
 	if resume {
 		reg.Set("resume", "1")
 	}
@@ -225,6 +230,7 @@ func (n *Node) connectUpstream(resume bool) error {
 	}
 	n.mu.Lock()
 	n.up = up
+	n.upMux = nil
 	n.reconnecting = false
 	if resume {
 		// The new parent session starts from nothing: resend every
@@ -247,7 +253,27 @@ func (n *Node) connectUpstream(resume bool) error {
 				n.upstreamLost(up)
 				return
 			}
-			if m.Verb == "RUN" {
+			n.mu.Lock()
+			x := n.upMux
+			n.mu.Unlock()
+			if x != nil {
+				if _, handled := x.Accept(m); handled {
+					continue // WINUP: grants applied, flush unblocked
+				}
+			}
+			switch m.Verb {
+			case "OK":
+				// A parent node acking our registration with the mux cap:
+				// upgrade the uplink so samples ride a flow-controlled
+				// stream instead of the bare connection.
+				if wire.ParseCaps(m.Get("caps"))[wire.CapMux] {
+					n.mu.Lock()
+					if n.up == up && n.upMux == nil {
+						n.upMux = wire.NewMux(up, wire.MuxConfig{Registry: n.reg})
+					}
+					n.mu.Unlock()
+				}
+			case "RUN":
 				n.multicastRun()
 			}
 		}
@@ -264,12 +290,22 @@ func (n *Node) upstreamLost(up *wire.Conn) {
 		return
 	}
 	n.up = nil
+	x := n.upMux
+	n.upMux = nil
 	if n.reconnecting {
 		n.mu.Unlock()
+		if x != nil {
+			x.Fail(nil)
+		}
 		return
 	}
 	n.reconnecting = true
 	n.mu.Unlock()
+	if x != nil {
+		// Wake any flush blocked on window credits the dead parent will
+		// never grant.
+		x.Fail(nil)
+	}
 	up.Close()
 	n.reg.Counter("mrnet.up.reconnects").Inc()
 	n.wg.Add(1)
@@ -393,6 +429,16 @@ func (n *Node) handleChild(raw net.Conn) {
 	needUpstream := n.up == nil && !n.reconnecting && n.cfg.ExpectedChildren > 0 && count >= n.cfg.ExpectedChildren
 	n.mu.Unlock()
 
+	// Grant the mux cap to children that offered it (child nodes do;
+	// plain daemons and old binaries never see the ack). The mux runs
+	// receive-side here: Accept meters the child's stamped samples and
+	// returns window credit as WINUPs.
+	var cm *wire.Mux
+	if wire.ParseCaps(first.Get("caps"))[wire.CapMux] {
+		cm = wire.NewMux(wc, wire.MuxConfig{Registry: n.reg})
+		wc.Send(wire.NewMessage("OK").Set("caps", wire.CapMux))
+	}
+
 	if replacing {
 		n.streams.revive(name)
 	}
@@ -421,6 +467,11 @@ func (n *Node) handleChild(raw net.Conn) {
 			n.childGone(child)
 			raw.Close()
 			return
+		}
+		if cm != nil {
+			if _, handled := cm.Accept(m); handled {
+				continue
+			}
 		}
 		switch m.Verb {
 		case "SAMPLE":
@@ -628,6 +679,7 @@ func (n *Node) flush() {
 	n.publishSelf()
 	n.mu.Lock()
 	up := n.up
+	upX := n.upMux
 	if up == nil || n.closed {
 		n.mu.Unlock()
 		return
@@ -647,11 +699,19 @@ func (n *Node) flush() {
 	}
 	n.streams.met.flushes.Inc()
 	sort.Strings(dirty)
+	// With a muxed uplink, samples ride the flow-controlled samples
+	// stream: a slow parent throttles this node without the unbounded
+	// buffering a bare connection would accumulate. SendOn flushes the
+	// cork before blocking on credits, so the two compose safely.
+	send := up.Send
+	if upX != nil {
+		send = func(m *wire.Message) error { return upX.SendOn(wire.StreamSamples, m) }
+	}
 	up.Cork()
 	var err error
 	for _, fn := range dirty {
 		s := reduced[fn]
-		if err = up.Send(wire.NewMessage("SAMPLE").
+		if err = send(wire.NewMessage("SAMPLE").
 			Set("fn", fn).
 			Set("calls", strconv.FormatInt(s.Calls, 10)).
 			Set("time_us", strconv.FormatInt(s.TimeMicros, 10))); err != nil {
@@ -670,7 +730,7 @@ func (n *Node) flush() {
 				msg.SetTrace(it.tid, sp.SpanID())
 				sp.End()
 			}
-			if err = up.Send(msg); err != nil {
+			if err = send(msg); err != nil {
 				break
 			}
 		}

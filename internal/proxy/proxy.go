@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -34,6 +35,17 @@ import (
 
 // DialFunc opens an onward connection from the proxy host.
 type DialFunc func(addr string) (net.Conn, error)
+
+// NetDial is the DialFunc for real networks: a "unix:/path" target
+// dials that unix-domain socket, anything else TCP. Wiring it into a
+// Forwarder or Server lets tunnel clients reach a daemon listening on
+// the same-host fast-path socket through the proxy.
+func NetDial(addr string) (net.Conn, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Dial("unix", path)
+	}
+	return net.Dial("tcp", addr)
+}
 
 // ErrRejected is returned by DialVia when the proxy refuses the target.
 var ErrRejected = errors.New("proxy: connect rejected")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -297,6 +298,55 @@ func TestForwarderOverRealTCP(t *testing.T) {
 	}
 	defer c.Close()
 	msg := []byte("tcp forward")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestConnectProxyToUnixTarget(t *testing.T) {
+	// A CONNECT proxy wired with NetDial reaches a daemon on its
+	// same-host fast-path socket: the tunnel client names the target as
+	// "unix:/path" and the proxy bridges TCP to the unix listener.
+	sock := filepath.Join(t.TempDir(), "echo.sock")
+	echoLn, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("listen unix: %v", err)
+	}
+	defer echoLn.Close()
+	go func() {
+		for {
+			c, err := echoLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				io.Copy(c, c)
+				c.Close()
+			}(c)
+		}
+	}()
+
+	srv := NewServer(NetDial, nil)
+	pxLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(pxLn)
+	defer srv.Close()
+
+	c, err := DialVia(NetDial, pxLn.Addr().String(), "unix:"+sock)
+	if err != nil {
+		t.Fatalf("DialVia: %v", err)
+	}
+	defer c.Close()
+	msg := []byte("through to the socket")
 	if _, err := c.Write(msg); err != nil {
 		t.Fatalf("write: %v", err)
 	}

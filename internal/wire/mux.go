@@ -1,0 +1,420 @@
+package wire
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tdp/internal/telemetry"
+)
+
+// This file implements transport v2's stream multiplexing and flow
+// control — an HTTP/2-lite layered over the existing framing rather
+// than a new binary format. A message's stream rides in the reserved
+// "_stream" field (absent = stream 0) and credit grants piggyback in
+// "_win", so a v1 peer that never negotiated the extension either
+// never sees the fields (senders only stamp them after capability
+// negotiation) or carries them through untouched per the reserved-key
+// contract.
+//
+// Flow control is credit-based and counted in messages, not bytes:
+// each non-zero stream starts with the same fixed number of send
+// credits on both sides, a send consumes one, and the receiver grants
+// credits back as it consumes messages. Message counting keeps the two
+// ends' accounting trivially symmetric (no drift from encoding
+// differences), and bulk frames are bounded — large snapshot replays
+// are chunked (see attrspace) — so a message-credit window still
+// bounds the bytes a stream can have in flight.
+//
+// Stream 0 is the control stream: request/reply traffic is
+// self-limiting (one reply per request) and exempt from flow control,
+// so the RPC hot path pays nothing beyond an empty-grant check.
+
+// Well-known stream IDs. The assignment is a protocol convention, not
+// a negotiation: both ends of a capability-negotiated connection use
+// the same IDs for the same traffic classes.
+const (
+	// StreamControl is the unflow-controlled request/reply stream.
+	StreamControl uint32 = 0
+	// StreamEvents carries server→client event fan-out (EVENT).
+	StreamEvents uint32 = 1
+	// StreamBulk carries snapshot replay chunks (SNAPV/DELTA).
+	StreamBulk uint32 = 2
+	// StreamSamples carries telemetry uplinks (SAMPLE/TSAMPLE).
+	StreamSamples uint32 = 3
+)
+
+// DefaultCredits is the initial per-stream send window, in messages.
+// It is a protocol constant: both ends of a negotiated connection
+// assume it, so changing it is a capability change.
+const DefaultCredits = 64
+
+// maxStreamID bounds accepted stream IDs so a hostile peer cannot
+// grow the per-stream accounting maps without bound.
+const maxStreamID = 1 << 16
+
+// VerbWinUpdate is the explicit window-update verb, sent when a
+// receiver has accumulated grants and has no outgoing message to
+// piggyback them on.
+const VerbWinUpdate = "WINUP"
+
+// ErrMuxClosed is returned by SendOn after Fail.
+var ErrMuxClosed = errors.New("wire: mux closed")
+
+// MuxConfig parameterizes a Mux.
+type MuxConfig struct {
+	// Credits is the initial per-stream send window in messages;
+	// 0 means DefaultCredits. Both ends must agree (tests only).
+	Credits int
+	// Registry receives the wire.mux.* metrics; nil records nothing.
+	Registry *telemetry.Registry
+}
+
+// Mux layers stream multiplexing with per-stream credit windows over a
+// Conn. One Mux serves both directions of one connection: SendOn
+// stamps outgoing messages and blocks when the stream's window is
+// exhausted; Accept (called by the owner's read loop for every
+// incoming message) applies the peer's credit grants, accounts
+// received stream messages, and returns credits to the peer — eagerly
+// piggybacked on outgoing sends, or as an explicit WINUP once half a
+// window has accumulated.
+type Mux struct {
+	c       *Conn
+	credits int // initial window per stream
+	thresh  int // pending grants that force an explicit WINUP
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	send    map[uint32]int // remaining send credits per stream
+	pending map[uint32]int // received-but-ungranted messages per stream
+	npend   int            // sum of pending
+	err     error
+
+	cStalls  *telemetry.Counter   // sends that had to wait for window
+	cWinups  *telemetry.Counter   // explicit WINUP frames sent
+	cPiggy   *telemetry.Counter   // grant batches piggybacked on sends
+	hWait    *telemetry.Histogram // window-wait latency
+	gStreams *telemetry.Gauge     // distinct send streams opened
+}
+
+// NewMux returns a Mux over c. The caller keeps using c's Recv
+// directly; every received message must be passed through Accept.
+func NewMux(c *Conn, cfg MuxConfig) *Mux {
+	credits := cfg.Credits
+	if credits <= 0 {
+		credits = DefaultCredits
+	}
+	x := &Mux{
+		c:       c,
+		credits: credits,
+		thresh:  (credits + 1) / 2,
+		send:    make(map[uint32]int),
+		pending: make(map[uint32]int),
+	}
+	x.cond = sync.NewCond(&x.mu)
+	if reg := cfg.Registry; reg != nil {
+		x.cStalls = reg.Counter("wire.mux.stalls")
+		x.cWinups = reg.Counter("wire.mux.winups")
+		x.cPiggy = reg.Counter("wire.mux.piggybacks")
+		x.hWait = reg.Histogram("wire.mux.windowwait", nil)
+		x.gStreams = reg.Gauge("wire.mux.streams")
+	}
+	return x
+}
+
+// SendOn transmits m on the given stream, blocking while the stream's
+// send window is exhausted (stream 0 never blocks). Any accumulated
+// receive-side grants piggyback on the message. Concurrent SendOn
+// calls on different streams are independent: one stalled stream never
+// blocks another.
+func (x *Mux) SendOn(stream uint32, m *Message) error {
+	if stream != StreamControl {
+		if !x.tryAcquire(stream) {
+			// About to block: push out any frames an enclosing Cork is
+			// holding — their receipt is what funds the grants we wait
+			// for, so leaving them buffered would deadlock the stream.
+			x.c.Flush()
+			if err := x.acquire(stream); err != nil {
+				return err
+			}
+		}
+		m.Set(FieldStream, strconv.FormatUint(uint64(stream), 10))
+	}
+	x.attachGrants(m)
+	if err := x.c.Send(m); err != nil {
+		x.Fail(err)
+		return err
+	}
+	return nil
+}
+
+// tryAcquire consumes one send credit on stream without blocking; it
+// reports false when the window is dry (or the mux already failed —
+// acquire surfaces the error).
+func (x *Mux) tryAcquire(stream uint32) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.err != nil {
+		return false
+	}
+	cr, ok := x.send[stream]
+	if !ok {
+		cr = x.credits
+		x.send[stream] = cr
+		if x.gStreams != nil {
+			x.gStreams.Set(int64(len(x.send)))
+		}
+	}
+	if cr <= 0 {
+		return false
+	}
+	x.send[stream]--
+	return true
+}
+
+// acquire consumes one send credit on stream, waiting for the peer's
+// grants when the window is dry.
+func (x *Mux) acquire(stream uint32) error {
+	x.mu.Lock()
+	cr, ok := x.send[stream]
+	if !ok {
+		cr = x.credits
+		x.send[stream] = cr
+		if x.gStreams != nil {
+			x.gStreams.Set(int64(len(x.send)))
+		}
+	}
+	if cr <= 0 && x.err == nil {
+		if x.cStalls != nil {
+			x.cStalls.Inc()
+		}
+		start := time.Now()
+		for x.send[stream] <= 0 && x.err == nil {
+			x.cond.Wait()
+		}
+		if x.hWait != nil {
+			x.hWait.Since(start)
+		}
+	}
+	if x.err != nil {
+		err := x.err
+		x.mu.Unlock()
+		return err
+	}
+	x.send[stream]--
+	x.mu.Unlock()
+	return nil
+}
+
+// Accept processes one incoming message: it applies any piggybacked
+// credit grants to the local send windows, strips the mux fields, and
+// accounts the message against its stream's receive window (granting
+// credits back to the peer once enough accumulate). It returns the
+// stream the message rode and whether the message was pure transport
+// (a WINUP) that the caller must not dispatch.
+func (x *Mux) Accept(m *Message) (stream uint32, handled bool) {
+	if w, ok := m.Fields[FieldWindow]; ok {
+		delete(m.Fields, FieldWindow)
+		x.applyGrants(w)
+	}
+	if m.Verb == VerbWinUpdate {
+		return 0, true
+	}
+	s, ok := m.Fields[FieldStream]
+	if !ok {
+		return 0, false
+	}
+	delete(m.Fields, FieldStream)
+	sid64, err := strconv.ParseUint(s, 10, 32)
+	if err != nil || sid64 == 0 || sid64 > maxStreamID {
+		return 0, false
+	}
+	sid := uint32(sid64)
+	x.mu.Lock()
+	x.pending[sid]++
+	x.npend++
+	flush := x.pending[sid] >= x.thresh
+	var grants string
+	if flush {
+		grants = x.grantsLocked()
+	}
+	x.mu.Unlock()
+	if flush && grants != "" {
+		if x.cWinups != nil {
+			x.cWinups.Inc()
+		}
+		// Best effort: a write error here surfaces through the owner's
+		// read/send paths; the explicit update itself carries no data.
+		if err := x.c.Send(NewMessage(VerbWinUpdate).Set(FieldWindow, grants)); err != nil {
+			x.Fail(err)
+		}
+	}
+	return sid, false
+}
+
+// attachGrants piggybacks pending receive-side grants onto m.
+func (x *Mux) attachGrants(m *Message) {
+	x.mu.Lock()
+	if x.npend == 0 {
+		x.mu.Unlock()
+		return
+	}
+	grants := x.grantsLocked()
+	x.mu.Unlock()
+	if grants != "" {
+		m.Set(FieldWindow, grants)
+		if x.cPiggy != nil {
+			x.cPiggy.Inc()
+		}
+	}
+}
+
+// grantsLocked encodes and clears the pending grants ("sid:n,…").
+// Callers hold mu.
+func (x *Mux) grantsLocked() string {
+	if x.npend == 0 {
+		return ""
+	}
+	ids := make([]uint32, 0, len(x.pending))
+	for sid, n := range x.pending {
+		if n > 0 {
+			ids = append(ids, sid)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for i, sid := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(sid), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(x.pending[sid]))
+	}
+	clear(x.pending)
+	x.npend = 0
+	return b.String()
+}
+
+// applyGrants credits the local send windows from an encoded grant
+// list; malformed entries are ignored (a broken peer cannot wedge us,
+// only starve itself).
+func (x *Mux) applyGrants(grants string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	woke := false
+	for grants != "" {
+		var pair string
+		if i := strings.IndexByte(grants, ','); i >= 0 {
+			pair, grants = grants[:i], grants[i+1:]
+		} else {
+			pair, grants = grants, ""
+		}
+		i := strings.IndexByte(pair, ':')
+		if i < 0 {
+			continue
+		}
+		sid64, err := strconv.ParseUint(pair[:i], 10, 32)
+		if err != nil || sid64 == 0 || sid64 > maxStreamID {
+			continue
+		}
+		n, err := strconv.Atoi(pair[i+1:])
+		if err != nil || n <= 0 || n > maxStreamID {
+			continue
+		}
+		sid := uint32(sid64)
+		if _, ok := x.send[sid]; !ok {
+			x.send[sid] = x.credits
+			if x.gStreams != nil {
+				x.gStreams.Set(int64(len(x.send)))
+			}
+		}
+		x.send[sid] += n
+		// Cap at the initial window: grants can never exceed what we
+		// consumed, so exceeding it means a confused peer.
+		if x.send[sid] > x.credits {
+			x.send[sid] = x.credits
+		}
+		woke = true
+	}
+	if woke {
+		x.cond.Broadcast()
+	}
+}
+
+// Fail marks the mux dead and wakes every sender blocked on a window;
+// they return err. Idempotent; the first error wins.
+func (x *Mux) Fail(err error) {
+	if err == nil {
+		err = ErrMuxClosed
+	}
+	x.mu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.mu.Unlock()
+	x.cond.Broadcast()
+}
+
+// ---------------------------------------------------------------------------
+// Capability negotiation helpers.
+//
+// Transport v2 is negotiated on the application handshake (HELLO for
+// the attribute space, REGISTER for the tool protocol): the initiator
+// lists the capabilities it speaks in a "caps" field, the responder
+// answers with the intersection of that list and its own, and both
+// sides enable exactly the granted set. A v1 peer ignores the unknown
+// field and grants nothing — transparent fallback, the MPUT pattern.
+
+// Capability names.
+const (
+	// CapMux: stream IDs + credit-window flow control on this conn.
+	CapMux = "mux"
+	// CapSnapd: the SNAPD delta-snapshot verb.
+	CapSnapd = "snapd"
+	// CapChunk: large snapshot replies arrive as part/more chunks.
+	CapChunk = "chunk"
+	// CapPing: wire-level PING/PONG liveness probes.
+	CapPing = "ping"
+)
+
+// ParseCaps splits a comma-separated capability list into a set.
+func ParseCaps(s string) map[string]bool {
+	out := make(map[string]bool)
+	for s != "" {
+		var c string
+		if i := strings.IndexByte(s, ','); i >= 0 {
+			c, s = s[:i], s[i+1:]
+		} else {
+			c, s = s, ""
+		}
+		if c != "" {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// IntersectCaps returns the comma-separated subset of supported that
+// the peer offered, preserving supported's order (deterministic
+// replies).
+func IntersectCaps(offered string, supported []string) string {
+	if offered == "" || len(supported) == 0 {
+		return ""
+	}
+	set := ParseCaps(offered)
+	var b strings.Builder
+	for _, c := range supported {
+		if !set[c] {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tdp/internal/telemetry"
+)
+
+// muxPair returns two muxed connections over an in-memory pipe, plus a
+// cleanup closing both ends.
+func muxPair(t *testing.T, credits int) (a, b *Conn, am, bm *Mux) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	a, b = NewConn(ca), NewConn(cb)
+	am = NewMux(a, MuxConfig{Credits: credits})
+	bm = NewMux(b, MuxConfig{Credits: credits})
+	return a, b, am, bm
+}
+
+func TestMuxStampsAndStripsStream(t *testing.T) {
+	_, b, am, bm := muxPair(t, 4)
+	go func() {
+		if err := am.SendOn(StreamEvents, NewMessage("EVENT").Set("attr", "a")); err != nil {
+			t.Error(err)
+		}
+	}()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, handled := bm.Accept(m)
+	if handled {
+		t.Fatal("data message reported as transport-only")
+	}
+	if sid != StreamEvents {
+		t.Fatalf("stream = %d, want %d", sid, StreamEvents)
+	}
+	if _, ok := m.Fields[FieldStream]; ok {
+		t.Fatal("_stream not stripped by Accept")
+	}
+}
+
+func TestMuxControlStreamNotStamped(t *testing.T) {
+	_, b, am, _ := muxPair(t, 4)
+	go am.SendOn(StreamControl, NewMessage("PUT").Set("attr", "a"))
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Fields[FieldStream]; ok {
+		t.Fatal("control-stream message carries _stream")
+	}
+}
+
+// pump drains x's conn in a goroutine, passing every message through
+// Accept — the read-loop role the mux owner plays in production. It
+// stops when the conn errors (the t.Cleanup pipe close).
+func pump(x *Mux) {
+	go func() {
+		for {
+			m, err := x.c.Recv()
+			if err != nil {
+				x.Fail(err)
+				return
+			}
+			x.Accept(m)
+		}
+	}()
+}
+
+// TestMuxWindowBlocksAndWinupUnblocks pushes several windows' worth of
+// messages through one stream: the sender can only finish if the
+// receiver's WINUP grants flow back and reopen the window.
+func TestMuxWindowBlocksAndWinupUnblocks(t *testing.T) {
+	const credits = 4
+	const total = 3*credits + 1
+	_, b, am, bm := muxPair(t, credits)
+	pump(am) // applies the WINUPs bm sends back
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := am.SendOn(StreamBulk, NewMessage("SNAPV").SetInt("part", i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	got := 0
+	for got < total {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, handled := bm.Accept(m); handled {
+			continue
+		}
+		got++
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender never finished despite grants")
+	}
+}
+
+// TestMuxIndependentStreams verifies a stalled stream does not block
+// another stream on the same conn — the head-of-line property the mux
+// exists for.
+func TestMuxIndependentStreams(t *testing.T) {
+	const credits = 2
+	_, b, am, _ := muxPair(t, credits)
+
+	// Exhaust StreamBulk's window.
+	for i := 0; i < credits; i++ {
+		done := make(chan error, 1)
+		go func() { done <- am.SendOn(StreamBulk, NewMessage("SNAPV")) }()
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A further bulk send blocks…
+	blocked := make(chan struct{})
+	go func() {
+		am.SendOn(StreamBulk, NewMessage("SNAPV"))
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("send past window did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// …but an events-stream send goes straight through.
+	evDone := make(chan error, 1)
+	go func() { evDone <- am.SendOn(StreamEvents, NewMessage("EVENT")) }()
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-evDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("independent stream blocked behind stalled one")
+	}
+	am.Fail(nil) // release the blocked sender
+	<-blocked
+}
+
+func TestMuxFailWakesBlockedSenders(t *testing.T) {
+	_, b, am, _ := muxPair(t, 1)
+	done := make(chan error, 1)
+	go func() { done <- am.SendOn(StreamEvents, NewMessage("EVENT")) }()
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() { errs <- am.SendOn(StreamEvents, NewMessage("EVENT")) }()
+	time.Sleep(10 * time.Millisecond)
+	am.Fail(ErrMuxClosed)
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("blocked send returned nil after Fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Fail did not wake blocked sender")
+	}
+	<-done
+}
+
+func TestMuxPiggybackGrants(t *testing.T) {
+	_, b, am, bm := muxPair(t, 8)
+	// a → b: one events message; b accounts it.
+	go am.SendOn(StreamEvents, NewMessage("EVENT"))
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm.Accept(m)
+	// b → a on control: the pending grant must piggyback.
+	go bm.SendOn(StreamControl, NewMessage("OK"))
+	reply, err := am.c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Get(FieldWindow) == "" {
+		t.Fatal("no piggybacked _win grant on control reply")
+	}
+	am.Accept(reply)
+	if _, ok := reply.Fields[FieldWindow]; ok {
+		t.Fatal("_win not stripped by Accept")
+	}
+}
+
+func TestMuxTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ca, cb := net.Pipe()
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	a, b := NewConn(ca), NewConn(cb)
+	am := NewMux(a, MuxConfig{Credits: 1, Registry: reg})
+	bm := NewMux(b, MuxConfig{Credits: 1})
+
+	pump(am) // applies the WINUP bm sends back
+
+	go func() {
+		am.SendOn(StreamEvents, NewMessage("EVENT"))
+		am.SendOn(StreamEvents, NewMessage("EVENT")) // must stall
+	}()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the grant back until the second send has provably stalled, so
+	// the stall counter increments deterministically.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("wire.mux.stalls").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("wire.mux.stalls never incremented")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	bm.Accept(m) // grants credit back via WINUP (threshold = 1)
+	m, err = b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm.Accept(m)
+	if reg.Gauge("wire.mux.streams").Value() == 0 {
+		t.Fatal("wire.mux.streams gauge not set")
+	}
+}
+
+func TestParseAndIntersectCaps(t *testing.T) {
+	caps := ParseCaps("mux,snapd,,chunk")
+	for _, want := range []string{"mux", "snapd", "chunk"} {
+		if !caps[want] {
+			t.Fatalf("ParseCaps missing %q", want)
+		}
+	}
+	if len(caps) != 3 {
+		t.Fatalf("ParseCaps len = %d, want 3", len(caps))
+	}
+	got := IntersectCaps("snapd,mux,future", []string{CapMux, CapSnapd, CapChunk, CapPing})
+	if got != "mux,snapd" {
+		t.Fatalf("IntersectCaps = %q, want %q", got, "mux,snapd")
+	}
+	if IntersectCaps("", []string{CapMux}) != "" {
+		t.Fatal("empty offer must grant nothing")
+	}
+}
+
+// TestCorkUncorkConcurrentSendRace hammers one Conn with concurrent
+// Sends, nested Cork/Uncork sections, and mux sends, then verifies
+// every frame decodes cleanly and nothing was torn. Run under -race
+// this is the regression test for the wmu/cork accounting.
+func TestCorkUncorkConcurrentSendRace(t *testing.T) {
+	ca, cb := net.Pipe()
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	conn := NewConn(ca)
+	mux := NewMux(conn, MuxConfig{Credits: 1 << 14}) // effectively unbounded
+	peer := NewConn(cb)
+
+	const (
+		senders = 8
+		perSend = 50
+	)
+	want := senders * perSend
+
+	recvDone := make(chan int, 1)
+	go func() {
+		n := 0
+		m := new(Message)
+		for n < want {
+			if err := peer.RecvInto(m); err != nil {
+				recvDone <- n
+				return
+			}
+			if m.Verb != "PUT" && m.Verb != "EVENT" {
+				t.Errorf("unexpected verb %q", m.Verb)
+			}
+			n++
+		}
+		recvDone <- n
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSend; i++ {
+				switch (g + i) % 4 {
+				case 0: // plain send
+					conn.Send(NewMessage("PUT").SetInt("n", i))
+				case 1: // corked burst
+					conn.Cork()
+					conn.Send(NewMessage("PUT").SetInt("n", i))
+					conn.Uncork()
+				case 2: // nested cork
+					conn.Cork()
+					conn.Cork()
+					conn.Send(NewMessage("PUT").SetInt("n", i))
+					conn.Uncork()
+					conn.Uncork()
+				case 3: // muxed send inside a cork section
+					conn.Cork()
+					mux.SendOn(StreamEvents, NewMessage("EVENT").SetInt("n", i))
+					conn.Uncork()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case n := <-recvDone:
+		if n != want {
+			t.Fatalf("received %d frames, want %d", n, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("receiver did not finish")
+	}
+}

@@ -57,6 +57,12 @@ const (
 	FieldTraceID = "_tid"
 	// FieldSpanID carries the sender's span ID (the receiver's parent).
 	FieldSpanID = "_sid"
+	// FieldStream carries the mux stream ID a message rides (see Mux);
+	// absent means stream 0, the uncontrolled control stream.
+	FieldStream = "_stream"
+	// FieldWindow piggybacks flow-control credit grants ("sid:credits"
+	// pairs, comma separated) on any outgoing message.
+	FieldWindow = "_win"
 )
 
 // IsReserved reports whether a field key belongs to the protocol
@@ -85,18 +91,24 @@ func init() {
 		// per sample interval.
 		"REGISTER", "SAMPLE", "TSAMPLE", "DONE", "RUN",
 		"CONNECT", "REFUSED",
+		// Transport v2 verbs: delta snapshots, flow-control window
+		// updates, and wire-level liveness probes.
+		"SNAPD", "DELTA", "WINUP", "PING", "PONG",
 		// Common field keys.
 		"id", "attr", "value", "context", "error", "daemon", "json",
 		"n", "seq", "op", "who", "lost", "seqs", "reason", "conn",
 		"fn", "calls", "time_us", "status", "host", "executable",
 		"pid", "rank", "kind", "name", "scope", "target", "resume",
-		FieldTraceID, FieldSpanID,
+		"caps", "since", "part", "more", "total",
+		FieldTraceID, FieldSpanID, FieldStream, FieldWindow,
 	}
 	// Batched put / snapshot field keys k0..k31, v0..v31 (plus the
-	// per-entry seq keys s0..s31 of a versioned snapshot); larger
-	// batches fall back to ordinary string conversion.
+	// per-entry seq keys s0..s31 of a versioned snapshot and the o0..o31
+	// op markers of a delta); larger batches fall back to ordinary
+	// string conversion.
 	for i := 0; i < 32; i++ {
-		words = append(words, "k"+strconv.Itoa(i), "v"+strconv.Itoa(i), "s"+strconv.Itoa(i))
+		words = append(words, "k"+strconv.Itoa(i), "v"+strconv.Itoa(i),
+			"s"+strconv.Itoa(i), "o"+strconv.Itoa(i))
 	}
 	for _, w := range words {
 		interned[w] = w
@@ -497,6 +509,18 @@ func (c *Conn) Send(m *Message) error {
 	if c.corked > 0 {
 		return nil
 	}
+	return c.flushLocked()
+}
+
+// Flush writes out any frames buffered by an enclosing Cork without
+// changing the cork depth. Every buffered frame is complete, so an
+// early flush is always safe; it only forfeits some batching. A
+// flow-controlled sender (Mux.SendOn) flushes before blocking on a
+// window so the frames whose receipt will fund the awaited grants
+// actually reach the peer.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	return c.flushLocked()
 }
 

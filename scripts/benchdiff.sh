@@ -12,13 +12,20 @@
 # network-shaped scaling benchmarks swing well past 20% run to run on
 # shared machines, so gating on them would make CI flaky. They stay in
 # the tracked set so drift is still visible in the report.
+#
+# Benchmarks matching GATE_REQUIRE are hard-gated: GATE_EXCLUDE never
+# applies to them, and a required baseline benchmark missing from the
+# current run fails too — the wire codec suite sits under every
+# transport path, so it can neither regress nor silently drop out of
+# the tracked set.
 set -eu
 baseline=${1:?usage: benchdiff.sh baseline.json current.json}
 current=${2:?usage: benchdiff.sh baseline.json current.json}
 : "${THRESHOLD:=20}"
-: "${GATE_EXCLUDE:=ManyContexts|GlobalGetCached|ProxyRelay|MRNetFanIn}"
+: "${GATE_EXCLUDE:=ManyContexts|GlobalGetCached|ProxyRelay|MRNetFanIn|SameHostPut|SessionResync|MuxFanout}"
+: "${GATE_REQUIRE:=^BenchmarkWire}"
 
-awk -v thr="$THRESHOLD" -v excl="$GATE_EXCLUDE" '
+awk -v thr="$THRESHOLD" -v excl="$GATE_EXCLUDE" -v req="$GATE_REQUIRE" '
 FNR == 1 { file++ }
 match($0, /"name": "[^"]+"/) {
 	name = substr($0, RSTART + 9, RLENGTH - 10)
@@ -39,14 +46,19 @@ END {
 		delta = (cur[name] - base[name]) / base[name] * 100
 		flag = "ok"
 		if (delta > thr) {
-			if (excl != "" && name ~ excl) flag = "warn"
+			if (excl != "" && name ~ excl && !(req != "" && name ~ req)) flag = "warn"
 			else { flag = "REGRESSION"; bad = 1 }
 		}
 		printf "%-10s %-48s %12.1f -> %10.1f ns/op (%+6.1f%%)\n", \
 			flag, name, base[name], cur[name], delta
 	}
-	for (name in base) if (!(name in cur))
-		printf "missing    %-48s (in baseline only)\n", name
+	for (name in base) if (!(name in cur)) {
+		if (req != "" && name ~ req) {
+			printf "MISSING    %-48s (required, gone from current run)\n", name
+			bad = 1
+		} else
+			printf "missing    %-48s (in baseline only)\n", name
+	}
 	if (bad) printf "\nFAIL: ns/op regression beyond %s%% against baseline\n", thr
 	exit bad
 }' "$baseline" "$current"
