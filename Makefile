@@ -19,12 +19,14 @@ GO ?= go
 # mux fan-out). The parallel contention benchmark (AttrSpaceClients)
 # stays out of the tracked set: RunParallel numbers swing 20%+ run to
 # run on shared machines, which would make the benchdiff gate flaky.
-# The scaling and transport benchmarks are contention/network shaped
-# too, so they are recorded but excluded from the regression gate
-# (GATE_EXCLUDE in benchdiff.sh); the wire codec benchmarks are the
-# opposite — hard-required by GATE_REQUIRE, so they can neither regress
-# nor silently drop out of the tracked set.
-BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire|BenchmarkAttrSpaceManyContexts|BenchmarkGlobalGetCached|BenchmarkProxyRelay|BenchmarkMRNetFanIn|BenchmarkSameHostPut|BenchmarkSessionResync|BenchmarkMuxFanout
+# The scaling benchmarks and the CASS shard-scaling curve are
+# contention/network shaped too, so they are recorded but excluded
+# from the regression gate (GATE_EXCLUDE in benchdiff.sh); the wire
+# codec benchmarks plus the two headline transport-v2 numbers
+# (SameHostPut, SessionResync) are the opposite — hard-required by
+# GATE_REQUIRE, so they can neither regress nor silently drop out of
+# the tracked set.
+BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire|BenchmarkAttrSpaceManyContexts|BenchmarkGlobalGetCached|BenchmarkProxyRelay|BenchmarkMRNetFanIn|BenchmarkSameHostPut|BenchmarkSessionResync|BenchmarkMuxFanout|BenchmarkCASSSharded
 
 # The chaos suite's fault-injection seed; pinned so CI runs are
 # reproducible and a failure's schedule can be replayed exactly.

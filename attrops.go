@@ -150,3 +150,41 @@ func (h *Handle) TryGetGlobal(attribute string) (string, error) {
 // HasGlobal reports whether this handle can reach a global space —
 // through its own CASS connection or a caching LASS.
 func (h *Handle) HasGlobal() bool { return h.cass != nil || h.cfg.GlobalViaLASS }
+
+// globalManyAPI is the multi-context surface of the sharded global
+// space. It is asserted rather than part of attrspace.API so that
+// custom API implementations predating it keep compiling.
+type globalManyAPI interface {
+	SnapshotGlobalMany(ctx context.Context, contexts []string) (map[string]map[string]string, error)
+	GlobalContexts(ctx context.Context) ([]string, error)
+}
+
+// SnapshotGlobalMany snapshots several global contexts at once through
+// the caching LASS (one GSNAPM round trip; on a sharded CASS pool the
+// LASS fetches each context from its owning shard concurrently). The
+// result maps context name → attribute snapshot.
+func (h *Handle) SnapshotGlobalMany(ctx context.Context, contexts []string) (map[string]map[string]string, error) {
+	if !h.cfg.GlobalViaLASS {
+		return nil, ErrNoCASS
+	}
+	api, ok := h.lass.(globalManyAPI)
+	if !ok {
+		return nil, attrspace.ErrNoGlobal
+	}
+	defer h.observe("snapshot_global_many")()
+	return api.SnapshotGlobalMany(ctx, contexts)
+}
+
+// GlobalContexts lists the context names alive in the global space —
+// on a sharded CASS pool, the union across every reachable shard.
+func (h *Handle) GlobalContexts(ctx context.Context) ([]string, error) {
+	if !h.cfg.GlobalViaLASS {
+		return nil, ErrNoCASS
+	}
+	api, ok := h.lass.(globalManyAPI)
+	if !ok {
+		return nil, attrspace.ErrNoGlobal
+	}
+	defer h.observe("global_contexts")()
+	return api.GlobalContexts(ctx)
+}

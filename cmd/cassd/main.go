@@ -39,12 +39,23 @@ func main() {
 	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size; a CASS fanning out to many caching LASSes wants this large")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown bound: announce CLOSE to clients and finish in-flight replies for up to this long before closing (0 closes immediately)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics, and /stats.json over HTTP on this address (empty disables)")
+	shard := flag.String("shard", "", "serve as shard i of an n-way partitioned CASS (\"i/n\", 0-based); contexts hashing to other shards are refused")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
 	srv.SetLogger(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "cassd"))
 	srv.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("cassd"))
 	srv.SetEventBuffer(*eventBuf)
+	if *shard != "" {
+		idx, total, err := attrspace.ParseShardSpec(*shard)
+		if err != nil {
+			log.Fatalf("cassd: %v", err)
+		}
+		if err := srv.SetShard(idx, total); err != nil {
+			log.Fatalf("cassd: %v", err)
+		}
+		log.Printf("cassd: serving shard %d/%d of the partitioned CASS", idx, total)
+	}
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		log.Fatalf("cassd: %v", err)

@@ -9,7 +9,11 @@
 // With -cass the LASS also serves the G* global-forwarding verbs: it
 // relays global operations to the CASS at that address through a
 // read-through cache invalidated by its own CASS subscription, so
-// steady-state global gets by local daemons cost one local hop.
+// steady-state global gets by local daemons cost one local hop. A
+// comma-separated -cass list makes the LASS a shard router instead:
+// each context's ops go to the shard its name hashes to, multi-context
+// ops scatter-gather across the pool, and a dead shard fails only its
+// own key range.
 // -cache-max bounds cached entries per context; -event-buffer sizes
 // the per-subscriber fan-out ring (larger absorbs bigger bursts before
 // the coalesce/drop overflow policy engages).
@@ -22,7 +26,7 @@
 //	lassd [-addr host:port | -addr unix:/path] [-unix]
 //	      [-loglevel debug|info|error|silent]
 //	      [-monitor 5s] [-monitor-context name]
-//	      [-cass host:port] [-cache-max n] [-event-buffer n]
+//	      [-cass host:port[,host:port...]] [-cache-max n] [-event-buffer n]
 //	      [-debug-addr host:port]
 package main
 
@@ -45,7 +49,7 @@ func main() {
 	logLevel := flag.String("loglevel", "error", "log verbosity: debug|info|error|silent")
 	monitor := flag.Duration("monitor", 0, "self-publish metrics as tdp.monitor.lass.* at this interval (0 disables)")
 	monitorCtx := flag.String("monitor-context", "default", "context to publish monitor attributes into")
-	cassAddr := flag.String("cass", "", "upstream CASS address; enables the G* global verbs with a subscription-invalidated read cache")
+	cassAddr := flag.String("cass", "", "upstream CASS address(es); enables the G* global verbs with a subscription-invalidated read cache. A comma-separated list (\"host1:4500,host2:4500\") routes contexts across a sharded CASS pool by name hash — order must match every cassd's -shard i/n numbering")
 	cacheMax := flag.Int("cache-max", 0, "max cached global entries per context (0 = default 4096)")
 	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown bound: announce CLOSE to clients and finish in-flight replies for up to this long before closing (0 closes immediately)")
@@ -57,8 +61,12 @@ func main() {
 	srv.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("lassd"))
 	srv.SetEventBuffer(*eventBuf)
 	if *cassAddr != "" {
-		srv.EnableGlobalCache(*cassAddr, attrspace.CacheConfig{MaxEntries: *cacheMax})
-		log.Printf("lassd: global forwarding to CASS %s enabled", *cassAddr)
+		gc := srv.EnableGlobalCache(*cassAddr, attrspace.CacheConfig{MaxEntries: *cacheMax})
+		if n := gc.ShardMap().Len(); n > 1 {
+			log.Printf("lassd: global forwarding across %d CASS shards enabled", n)
+		} else {
+			log.Printf("lassd: global forwarding to CASS %s enabled", *cassAddr)
+		}
 	}
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {

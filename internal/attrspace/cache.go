@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tdp/internal/attr"
+	"tdp/internal/telemetry"
 )
 
 // GlobalCache is the LASS side of the G* global-forwarding verbs: a
@@ -40,15 +41,19 @@ import (
 // participants left, so the cache's upstream reference does not pin a
 // CASS context forever after everyone exited.
 type GlobalCache struct {
-	srv  *Server // telemetry + local space (idle sweep)
-	addr string
-	dial DialFunc
-	max  int
+	srv       *Server // telemetry + local space (idle sweep)
+	shards    *ShardMap
+	dial      DialFunc
+	max       int
+	batch     int
+	heartbeat time.Duration
 
 	mu     sync.Mutex
 	ctxs   map[string]*cacheCtx
 	closed bool
 	stop   chan struct{}
+
+	conns []*shardConn // one per shard, index-aligned with shards
 }
 
 // CacheConfig tunes EnableGlobalCache.
@@ -60,11 +65,21 @@ type CacheConfig struct {
 	// SweepInterval is how often idle contexts (no local participants)
 	// are dropped; 0 means 5s, negative disables the sweep.
 	SweepInterval time.Duration
+	// ShardBatch bounds how many pooled operations one per-shard drain
+	// cycle corks into a single write; 0 means 64. See router.go.
+	ShardBatch int
+	// ShardHeartbeat is the per-shard health session's ping interval;
+	// 0 means 1s, negative disables heartbeats (liveness then rests on
+	// transport read errors alone).
+	ShardHeartbeat time.Duration
 }
 
 // EnableGlobalCache turns this server into a caching LASS: the G*
-// verbs forward to the CASS at cassAddr through a GlobalCache. Call
-// once, before serving traffic; the cache closes with the server.
+// verbs forward to the CASS(es) at cassAddr — a single endpoint or a
+// comma-separated shard list ("host1:7170,host2:7170") — through a
+// GlobalCache. Call once, before serving traffic; the cache closes
+// with the server. With more than one shard, `STATS scope=tree` on
+// this server additionally folds in each live shard's snapshot.
 func (s *Server) EnableGlobalCache(cassAddr string, cfg CacheConfig) *GlobalCache {
 	if cfg.Dial == nil {
 		cfg.Dial = TCPDial
@@ -72,23 +87,86 @@ func (s *Server) EnableGlobalCache(cassAddr string, cfg CacheConfig) *GlobalCach
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 4096
 	}
+	if cfg.ShardBatch <= 0 {
+		cfg.ShardBatch = defaultShardBatch
+	}
+	switch {
+	case cfg.ShardHeartbeat == 0:
+		cfg.ShardHeartbeat = time.Second
+	case cfg.ShardHeartbeat < 0:
+		cfg.ShardHeartbeat = 0
+	}
 	sweep := cfg.SweepInterval
 	if sweep == 0 {
 		sweep = 5 * time.Second
 	}
 	gc := &GlobalCache{
-		srv:  s,
-		addr: cassAddr,
-		dial: cfg.Dial,
-		max:  cfg.MaxEntries,
-		ctxs: make(map[string]*cacheCtx),
-		stop: make(chan struct{}),
+		srv:       s,
+		shards:    ParseShardAddrs(cassAddr),
+		dial:      cfg.Dial,
+		max:       cfg.MaxEntries,
+		batch:     cfg.ShardBatch,
+		heartbeat: cfg.ShardHeartbeat,
+		ctxs:      make(map[string]*cacheCtx),
+		stop:      make(chan struct{}),
+	}
+	gc.conns = make([]*shardConn, gc.shards.Len())
+	for i := range gc.conns {
+		gc.conns[i] = gc.newShardConn(i)
 	}
 	if sweep > 0 {
 		go gc.sweeper(sweep)
 	}
+	go gc.healthLoop()
+	if gc.shards.Len() > 1 {
+		// Sharded pool: fold the shards' telemetry into this server's
+		// tree-scope STATS, preserving any callback already installed
+		// (e.g. an mrnet rollup).
+		prev := s.statsKids.Load()
+		s.SetStatsChildren(func() []telemetry.Snapshot {
+			kids := gc.ShardStats()
+			if prev != nil {
+				kids = append(kids, (*prev)()...)
+			}
+			return kids
+		})
+	}
 	s.gcache.Store(gc)
 	return gc
+}
+
+// ShardMap returns the shard assignment this cache routes by.
+func (gc *GlobalCache) ShardMap() *ShardMap { return gc.shards }
+
+// shard returns the shardConn owning the named context.
+func (gc *GlobalCache) shard(contextName string) *shardConn {
+	return gc.conns[gc.shards.ShardFor(contextName)]
+}
+
+// shardAt returns shard i's connection state.
+func (gc *GlobalCache) shardAt(i int) *shardConn { return gc.conns[i] }
+
+func (gc *GlobalCache) isClosed() bool {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.closed
+}
+
+// healthLoop refreshes the per-shard up gauges so tdptop tracks shard
+// state even while the router is idle.
+func (gc *GlobalCache) healthLoop() {
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-gc.stop:
+			return
+		case <-t.C:
+		}
+		for _, sh := range gc.conns {
+			sh.healthTick()
+		}
+	}
 }
 
 // GlobalCacheEnabled reports whether this server forwards G* verbs.
@@ -132,6 +210,9 @@ func (gc *GlobalCache) Close() {
 	close(gc.stop)
 	for _, cc := range ctxs {
 		cc.teardown()
+	}
+	for _, sh := range gc.conns {
+		sh.close()
 	}
 }
 
@@ -232,7 +313,15 @@ func (gc *GlobalCache) drop(cc *cacheCtx) {
 // newer than what a fill observed must produce an event we will see.
 func (cc *cacheCtx) init() {
 	defer close(cc.ready)
-	up, err := Dial(cc.gc.dial, cc.gc.addr, cc.name)
+	sh := cc.gc.shard(cc.name)
+	if sh.down() {
+		// The owning shard's health session says it is unreachable:
+		// fail fast instead of burning a dial timeout. Other shards'
+		// contexts are unaffected — this is the degraded mode.
+		cc.initE = sh.downErr()
+		return
+	}
+	up, err := Dial(cc.gc.dial, sh.addr, cc.name)
 	if err != nil {
 		cc.initE = err
 		return
@@ -339,7 +428,12 @@ func (gc *GlobalCache) Put(ctx context.Context, contextName, attribute, value st
 	if err != nil {
 		return 0, err
 	}
-	seq, err := cc.up.PutV(ctx, attribute, value)
+	sh := gc.shard(contextName)
+	seq, err := sh.put(ctx, contextName, attribute, value)
+	if errors.Is(err, errNoCtxOp) {
+		sh.cFallback.Inc()
+		seq, err = cc.up.PutV(ctx, attribute, value)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -355,7 +449,12 @@ func (gc *GlobalCache) PutBatch(ctx context.Context, contextName string, pairs [
 	if err != nil {
 		return 0, err
 	}
-	last, err := cc.up.PutBatchV(ctx, pairs)
+	sh := gc.shard(contextName)
+	last, err := sh.putBatch(ctx, contextName, pairs)
+	if errors.Is(err, errNoCtxOp) {
+		sh.cFallback.Inc()
+		last, err = cc.up.PutBatchV(ctx, pairs)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -385,7 +484,12 @@ func (gc *GlobalCache) TryGet(ctx context.Context, contextName, attribute string
 		return v, seq, nil
 	}
 	tel.cacheMiss.Inc()
-	v, seq, err := cc.up.TryGetV(ctx, attribute)
+	sh := gc.shard(contextName)
+	v, seq, err := sh.tryGet(ctx, contextName, attribute)
+	if errors.Is(err, errNoCtxOp) {
+		sh.cFallback.Inc()
+		v, seq, err = cc.up.TryGetV(ctx, attribute)
+	}
 	if err != nil {
 		return "", 0, err
 	}
@@ -396,7 +500,10 @@ func (gc *GlobalCache) TryGet(ctx context.Context, contextName, attribute string
 
 // Get blocks until the attribute exists globally. A live cache entry
 // answers immediately; otherwise (miss or tombstone) the blocking GET
-// is forwarded to the CASS and the result fills the cache.
+// is forwarded to the CASS and the result fills the cache. The wait
+// always rides the per-context connection, never the pooled shard
+// path: a drain cycle must not stall behind an op that may block
+// forever.
 func (gc *GlobalCache) Get(ctx context.Context, contextName, attribute string) (string, uint64, error) {
 	cc, err := gc.ctx(ctx, contextName)
 	if err != nil {
@@ -424,7 +531,12 @@ func (gc *GlobalCache) Delete(ctx context.Context, contextName, attribute string
 	if err != nil {
 		return 0, err
 	}
-	seq, err := cc.up.DeleteV(ctx, attribute)
+	sh := gc.shard(contextName)
+	seq, err := sh.delete(ctx, contextName, attribute)
+	if errors.Is(err, errNoCtxOp) {
+		sh.cFallback.Inc()
+		seq, err = cc.up.DeleteV(ctx, attribute)
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -410,3 +410,130 @@ func TestChaosPartitionGivesUp(t *testing.T) {
 		t.Fatalf("post-give-up Put error = %v, want ErrSessionGaveUp", err)
 	}
 }
+
+// TestChaosShardKill kills one CASS shard of a routed pool under
+// continuous load. The contract being checked is partitioned
+// degradation: ops routed to the surviving shards keep succeeding
+// throughout, while ops in the dead shard's hash range surface as
+// prompt errors (ErrShardDown once the health session notices) — never
+// as hangs.
+func TestChaosShardKill(t *testing.T) {
+	const n = 3
+	const victim = 1
+	shards := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		shards[i], addrs[i] = startServer(t)
+		if err := shards[i].SetShard(i, n); err != nil {
+			t.Fatalf("SetShard: %v", err)
+		}
+	}
+	lass := NewServer()
+	lass.EnableGlobalCache(addrs[0]+","+addrs[1]+","+addrs[2], CacheConfig{
+		SweepInterval:  50 * time.Millisecond,
+		ShardHeartbeat: 50 * time.Millisecond,
+	})
+	lassAddr, err := lass.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	t.Cleanup(lass.Close)
+
+	ctxs := shardedContexts(t, n)
+	type shardScore struct {
+		mu        sync.Mutex
+		ok        int
+		fails     int
+		downErrs  int
+		postKill  int // successes after the kill
+		slowestMs int64
+	}
+	scores := make([]*shardScore, n)
+	for i := range scores {
+		scores[i] = &shardScore{}
+	}
+
+	stop := make(chan struct{})
+	killed := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(nil, lassAddr, ctxs[i])
+			if err != nil {
+				t.Errorf("dial worker %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			sc := scores[i]
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				opCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				start := time.Now()
+				err := c.PutGlobal(opCtx, "k", fmt.Sprintf("v%d", round))
+				if err == nil {
+					_, err = c.TryGetGlobal(opCtx, "k")
+				}
+				cancel()
+				ms := time.Since(start).Milliseconds()
+				var wasKilled bool
+				select {
+				case <-killed:
+					wasKilled = true
+				default:
+				}
+				sc.mu.Lock()
+				if ms > sc.slowestMs {
+					sc.slowestMs = ms
+				}
+				if err == nil {
+					sc.ok++
+					if wasKilled {
+						sc.postKill++
+					}
+				} else {
+					sc.fails++
+					if errors.Is(err, ErrShardDown) {
+						sc.downErrs++
+					}
+				}
+				sc.mu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	shards[victim].Close()
+	close(killed)
+	time.Sleep(1200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	for i, sc := range scores {
+		sc.mu.Lock()
+		t.Logf("shard %d: ok=%d fails=%d downErrs=%d postKill=%d slowest=%dms",
+			i, sc.ok, sc.fails, sc.downErrs, sc.postKill, sc.slowestMs)
+		if sc.slowestMs > 3500 {
+			t.Errorf("shard %d: an op took %dms — degraded mode must not hang", i, sc.slowestMs)
+		}
+		if i == victim {
+			if sc.downErrs == 0 {
+				t.Errorf("victim shard: no ErrShardDown surfaced after the kill")
+			}
+		} else {
+			if sc.fails != 0 {
+				t.Errorf("surviving shard %d: %d ops failed — one shard's death leaked", i, sc.fails)
+			}
+			if sc.postKill == 0 {
+				t.Errorf("surviving shard %d: no successes after the kill", i)
+			}
+		}
+		sc.mu.Unlock()
+	}
+}

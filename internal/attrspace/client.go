@@ -2,6 +2,7 @@ package attrspace
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -129,6 +130,13 @@ func Dial(dial DialFunc, addr, contextName string) (*Client, error) {
 // fault supervisor's service pings and the Session reconnect loop
 // depend on this bound.
 func DialCtx(ctx context.Context, dial DialFunc, addr, contextName string) (*Client, error) {
+	return dialWithCaps(ctx, dial, addr, contextName, clientCaps)
+}
+
+// dialWithCaps is DialCtx with an explicit capability offer. The shard
+// router uses it to offer CapCtxOp on its pooled connections without
+// changing what ordinary clients advertise.
+func dialWithCaps(ctx context.Context, dial DialFunc, addr, contextName string, caps []string) (*Client, error) {
 	if dial == nil {
 		dial = AutoDial
 	}
@@ -158,7 +166,7 @@ func DialCtx(ctx context.Context, dial DialFunc, addr, contextName string) (*Cli
 		}()
 	}
 	hello := wire.NewMessage("HELLO").Set("context", contextName).
-		Set("caps", strings.Join(clientCaps, ","))
+		Set("caps", strings.Join(caps, ","))
 	reply, err := c.call(ctx, "HELLO", hello)
 	if err != nil {
 		c.Close()
@@ -1109,6 +1117,12 @@ func globalErr(reply *wire.Message) error {
 		if strings.Contains(text, "unknown verb") || strings.Contains(text, "global forwarding not enabled") {
 			return ErrNoGlobal
 		}
+		if strings.Contains(text, ErrShardDown.Error()) {
+			// A routing LASS reporting one dead shard: surface the typed
+			// degraded-mode error so callers can distinguish "this key
+			// range is briefly down" from a hard failure.
+			return fmt.Errorf("%w: %s", ErrShardDown, text)
+		}
 	}
 	return replyErr(reply)
 }
@@ -1191,6 +1205,55 @@ func (c *Client) SnapshotGlobal(ctx context.Context) (map[string]string, error) 
 		return nil, err
 	}
 	return parseSnap(reply)
+}
+
+// SnapshotGlobalMany snapshots several global contexts in one GSNAPM
+// round trip. On a sharded LASS the contexts are fetched from their
+// owning CASS shards concurrently (scatter-gather); the result maps
+// context name → attribute snapshot. ErrNoGlobal against servers
+// without forwarding or too old to know the verb.
+func (c *Client) SnapshotGlobalMany(ctx context.Context, contexts []string) (map[string]map[string]string, error) {
+	m := wire.NewMessage("GSNAPM").SetInt("n", len(contexts))
+	for i, name := range contexts {
+		m.Set("k"+strconv.Itoa(i), name)
+	}
+	reply, err := c.call(ctx, "GSNAPM", m)
+	if err != nil {
+		return nil, err
+	}
+	if err := globalErr(reply); err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]string)
+	n, _ := strconv.Atoi(reply.Get("n"))
+	for i := 0; i < n; i++ {
+		idx := strconv.Itoa(i)
+		var snap map[string]string
+		if err := json.Unmarshal([]byte(reply.Get("v"+idx)), &snap); err != nil {
+			return nil, fmt.Errorf("attrspace: gsnapm decode %q: %w", reply.Get("k"+idx), err)
+		}
+		out[reply.Get("k"+idx)] = snap
+	}
+	return out, nil
+}
+
+// GlobalContexts lists the context names alive across the global
+// space — on a sharded LASS, the deduplicated union over every
+// reachable shard. ErrNoGlobal against servers without forwarding.
+func (c *Client) GlobalContexts(ctx context.Context) ([]string, error) {
+	reply, err := c.call(ctx, "GCTXS", wire.NewMessage("GCTXS"))
+	if err != nil {
+		return nil, err
+	}
+	if err := globalErr(reply); err != nil {
+		return nil, err
+	}
+	n, _ := strconv.Atoi(reply.Get("n"))
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		names = append(names, reply.Get("k"+strconv.Itoa(i)))
+	}
+	return names, nil
 }
 
 // Close leaves the context (the tdp_exit half of the refcount) and

@@ -87,11 +87,12 @@ import (
 // counter "attrspace.ops.<verb>" and one latency histogram
 // "attrspace.latency.<verb>" exist per verb.
 var serverVerbs = []string{"hello", "put", "mput", "get", "tryget", "delete", "snap", "snapd", "sub",
-	"stats", "ping", "gput", "gmput", "gget", "gtryget", "gdel", "gsnap"}
+	"stats", "ping", "gput", "gmput", "gget", "gtryget", "gdel", "gsnap", "gsnapm", "gctxs",
+	"cput", "cmput", "cget", "cdel", "csnap", "cctxs"}
 
 // defaultServerCaps are the transport-v2 capabilities a server grants
 // when the client offers them; see Server.SetCaps.
-var defaultServerCaps = []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing}
+var defaultServerCaps = []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing, wire.CapCtxOp}
 
 // verbMetrics caches one verb's hot-path metric handles.
 type verbMetrics struct {
@@ -162,6 +163,16 @@ type Server struct {
 	// gcache, when non-nil, serves the G* global-forwarding verbs: this
 	// server is a LASS with an upstream CASS. See EnableGlobalCache.
 	gcache atomic.Pointer[GlobalCache]
+
+	// shard, when non-nil, makes this server one partition of a sharded
+	// CASS: HELLO (and the C* verbs) refuse contexts whose hash places
+	// them on a different shard. See SetShard.
+	shard atomic.Pointer[shardSpec]
+}
+
+// shardSpec is a server's position in a sharded CASS pool.
+type shardSpec struct {
+	idx, total int
 }
 
 // NewServer returns a server around a fresh attribute space.
@@ -202,6 +213,32 @@ func (s *Server) capEnabled(name string) bool {
 		}
 	}
 	return false
+}
+
+// SetShard declares this server to be shard idx of a total-way
+// partitioned CASS (the cassd -shard i/n flag). From then on HELLO and
+// the C* verbs refuse contexts whose name hashes to a different shard
+// — a misrouted client gets a "wrong shard" error instead of silently
+// splitting one context's attributes across two daemons. Contexts
+// under InfraContextPrefix are exempt: router health probes and
+// monitor self-publication must exist on every shard.
+func (s *Server) SetShard(idx, total int) error {
+	if total < 1 || idx < 0 || idx >= total {
+		return fmt.Errorf("attrspace: shard %d/%d out of range", idx, total)
+	}
+	s.shard.Store(&shardSpec{idx: idx, total: total})
+	return nil
+}
+
+// shardRefuses reports whether this server's shard assignment excludes
+// the named context, with the owner's index for the error message.
+func (s *Server) shardRefuses(name string) (owner int, refused bool) {
+	sp := s.shard.Load()
+	if sp == nil || strings.HasPrefix(name, InfraContextPrefix) {
+		return 0, false
+	}
+	owner = ShardIndex(name, sp.total)
+	return owner, owner != sp.idx
 }
 
 // DefaultEventBuffer is the per-subscription fan-out ring size used
@@ -586,6 +623,12 @@ func (c *serverConn) dispatch(ctx context.Context, m *wire.Message) bool {
 	case "HELLO":
 		done := srv.observe("hello")
 		name := m.Get("context")
+		if owner, refused := srv.shardRefuses(name); refused {
+			c.reply(wire.NewMessage("ERROR").Set("id", m.Get("id")).
+				Set("error", fmt.Sprintf("wrong shard: context %q belongs to shard %d", name, owner)))
+			done()
+			return false
+		}
 		// Capability negotiation: grant the intersection of what the
 		// client offered and what this server speaks. A v1 client sends
 		// no caps field and gets none back; a v1 server ignores the
@@ -641,7 +684,16 @@ func (c *serverConn) dispatch(ctx context.Context, m *wire.Message) bool {
 		c.handleOp(ctx, m)
 	case "PUT", "MPUT", "GET", "TRYGET", "DELETE", "SNAP", "SUB":
 		c.handleOp(ctx, m)
-	case "GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP":
+	case "CPUT", "CMPUT", "CGET", "CDEL", "CSNAP", "CCTXS":
+		// Context-explicit ops (CapCtxOp): the shard router's pooled
+		// connections name the target context per message instead of
+		// being bound to one at HELLO.
+		if !srv.capEnabled(wire.CapCtxOp) {
+			c.unknownVerb(m) // a pre-shard server would not know these
+			return false
+		}
+		c.handleCtxOp(m)
+	case "GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP", "GSNAPM", "GCTXS":
 		c.handleGlobal(ctx, m)
 	default:
 		c.unknownVerb(m)
@@ -862,6 +914,113 @@ func (c *serverConn) handleOp(ctx context.Context, m *wire.Message) {
 		go c.pushEvents(sub)
 		c.reply(wire.NewMessage("OK").Set("id", id))
 		finish()
+	}
+}
+
+// handleCtxOp serves the C* context-explicit verbs: single-context
+// operations whose target context rides in the message (ctx field)
+// rather than in the connection's HELLO binding, which is what lets
+// one pooled connection carry every context a shard owns. Ops join the
+// context only for the op's duration, and only when somebody already
+// holds it (Refs > 0) — the shard router's per-context subscription
+// connection provides that reference, so a C* op can never create a
+// context as a side effect or apply a write to one that everyone has
+// already left. CGET is deliberately non-blocking (tryget semantics):
+// the router's drain cycle must never stall behind an op that could
+// wait forever — blocking reads stay on the per-context path.
+func (c *serverConn) handleCtxOp(m *wire.Message) {
+	srv := c.srv
+	id := m.Get("id")
+	done := srv.observe(strings.ToLower(m.Verb))
+	sp := c.startSpan(m)
+	finish := func() {
+		done()
+		sp.End()
+	}
+	if m.Verb == "CCTXS" {
+		names := srv.space.Contexts()
+		reply := wire.NewMessage("OK").Set("id", id).SetInt("n", len(names))
+		for i, name := range names {
+			reply.Set("k"+strconv.Itoa(i), name)
+		}
+		c.reply(reply)
+		finish()
+		return
+	}
+	name := m.Get("ctx")
+	if name == "" {
+		c.reply(wire.NewMessage("ERROR").Set("id", id).Set("error", "ctxop: missing ctx"))
+		finish()
+		return
+	}
+	if owner, refused := srv.shardRefuses(name); refused {
+		c.reply(wire.NewMessage("ERROR").Set("id", id).
+			Set("error", fmt.Sprintf("wrong shard: context %q belongs to shard %d", name, owner)))
+		finish()
+		return
+	}
+	if srv.space.Refs(name) == 0 {
+		c.reply(wire.NewMessage("ERROR").Set("id", id).
+			Set("error", fmt.Sprintf("ctxop: no such context %q", name)))
+		finish()
+		return
+	}
+	ref := srv.space.Join(name)
+	defer ref.Leave()
+	switch m.Verb {
+	case "CPUT":
+		seq, err := ref.PutSeq(m.Get("attr"), m.Get("value"))
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
+		finish()
+	case "CMPUT":
+		pairs, err := decodeBatch(m)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		seq, err := ref.PutBatchSeq(pairs)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
+		finish()
+	case "CGET":
+		v, seq, err := ref.TryGetSeq(m.Get("attr"))
+		switch {
+		case errors.Is(err, attr.ErrNotFound):
+			c.reply(wire.NewMessage("NOTFOUND").Set("id", id).Set("attr", m.Get("attr")))
+		case err != nil:
+			c.replyErr(id, err)
+		default:
+			c.reply(wire.NewMessage("VALUE").Set("id", id).Set("attr", m.Get("attr")).
+				Set("value", v).Set("seq", strconv.FormatUint(seq, 10)))
+		}
+		finish()
+	case "CDEL":
+		seq, err := ref.DeleteSeq(m.Get("attr"))
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.reply(wire.NewMessage("OK").Set("id", id).Set("seq", strconv.FormatUint(seq, 10)))
+		finish()
+	case "CSNAP":
+		snap, ctxSeq, err := ref.SnapshotSeq()
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.sendEntryChunks("SNAPV", id, versionedEntries(snap), ctxSeq, finish)
 	}
 }
 
@@ -1160,6 +1319,46 @@ func (c *serverConn) handleGlobal(ctx context.Context, m *wire.Message) {
 			reply.Set("k"+strconv.Itoa(i), k)
 			reply.Set("v"+strconv.Itoa(i), v)
 			i++
+		}
+		c.reply(reply)
+		finish()
+	case "GSNAPM":
+		// Multi-context snapshot: scatter-gather across the CASS shards.
+		// Strict by design — any unreachable context fails the request,
+		// because a snapshot that silently omits contexts reads as "they
+		// are empty".
+		n, aerr := strconv.Atoi(m.Get("n"))
+		if aerr != nil || n < 0 || n > len(m.Fields) {
+			c.replyErr(id, fmt.Errorf("gsnapm: bad n %q", m.Get("n")))
+			finish()
+			return
+		}
+		names := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			names = append(names, m.Get("k"+strconv.Itoa(i)))
+		}
+		snaps, err := gc.SnapshotMany(ctx, names)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		reply, err := encodeSnapshotMany(id, snaps)
+		if err != nil {
+			c.replyErr(id, err)
+			finish()
+			return
+		}
+		c.reply(reply)
+		finish()
+	case "GCTXS":
+		// Global context listing: the deduplicated union over every
+		// reachable shard. Best-effort by design — a down shard hides
+		// its contexts but does not hide the survivors'.
+		names, _ := gc.GlobalContexts(ctx)
+		reply := wire.NewMessage("OK").Set("id", id).SetInt("n", len(names))
+		for i, name := range names {
+			reply.Set("k"+strconv.Itoa(i), name)
 		}
 		c.reply(reply)
 		finish()

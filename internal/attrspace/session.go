@@ -263,6 +263,26 @@ func (s *Session) GaveUp() bool {
 	return errors.Is(s.err, ErrSessionGaveUp)
 }
 
+// Up reports whether the session currently holds a live connection.
+// False means disconnected: either still dialing the first connection
+// or inside a reconnect outage. The shard router uses this as its
+// liveness signal.
+func (s *Session) Up() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur != nil && s.err == nil
+}
+
+// HasConnected reports whether the session has ever held a live
+// connection. Up()==false before the first connect means "not yet",
+// after it means "lost" — callers that fail fast on outages (the shard
+// router) use the distinction to stay permissive during startup.
+func (s *Session) HasConnected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.everConnected
+}
+
 // WaitReady blocks until the session has a live connection, the
 // session turns terminal, or ctx expires.
 func (s *Session) WaitReady(ctx context.Context) error {
@@ -1066,6 +1086,22 @@ func (s *Session) GetGlobal(ctx context.Context, attribute string) (string, erro
 func (s *Session) TryGetGlobal(ctx context.Context, attribute string) (string, error) {
 	return retryVal(s, ctx, func(c *Client) (string, error) {
 		return c.TryGetGlobal(ctx, attribute)
+	})
+}
+
+// SnapshotGlobalMany snapshots several global contexts in one GSNAPM
+// scatter-gather, retrying across reconnects (reads are idempotent).
+func (s *Session) SnapshotGlobalMany(ctx context.Context, contexts []string) (map[string]map[string]string, error) {
+	return retryVal(s, ctx, func(c *Client) (map[string]map[string]string, error) {
+		return c.SnapshotGlobalMany(ctx, contexts)
+	})
+}
+
+// GlobalContexts lists the context names alive across the global
+// space, retrying across reconnects.
+func (s *Session) GlobalContexts(ctx context.Context) ([]string, error) {
+	return retryVal(s, ctx, func(c *Client) ([]string, error) {
+		return c.GlobalContexts(ctx)
 	})
 }
 

@@ -1,0 +1,135 @@
+package attrspace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file defines the ShardMap: the contract that lets the global
+// attribute space span several CASS daemons. A context lives entirely
+// on one shard, chosen by hashing the context name, so every
+// single-context operation (GPUT/GGET/GDEL/GMPUT and the per-context
+// GSNAP) routes to exactly one daemon while multi-context operations
+// (context listing, mixed-context snapshots, STATS rollups)
+// scatter-gather across all of them.
+//
+// Both sides hold the same map: a LASS router (see router.go) routes
+// by it, and a cassd started with -shard i/n enforces it — a context
+// that hashes elsewhere is refused at HELLO, so a misconfigured client
+// cannot silently split one context's attributes across two daemons.
+//
+// The map is versioned. Routing decisions and enforcement are always
+// made against one immutable *ShardMap value, and the version is the
+// hook a future resharding protocol needs: a coordinator publishes map
+// v+1, daemons accept ops tagged with either version while contexts
+// migrate, then retire v. Nothing in this PR moves data between
+// shards; the version exists so that change can be additive.
+
+// InfraContextPrefix marks infrastructure contexts (router health
+// probes, monitor self-publication) that are exempt from shard
+// ownership: they may exist on every shard, because every shard needs
+// them locally. User contexts never start with "tdp.".
+const InfraContextPrefix = "tdp."
+
+// ShardMap is an immutable, versioned assignment of context names to
+// shard endpoints. Len()==1 degenerates to the classic single-CASS
+// deployment, which keeps every existing call site working unchanged.
+type ShardMap struct {
+	version uint64
+	addrs   []string
+}
+
+// NewShardMap builds a map over the given shard endpoints (version 1).
+// Order matters: the hash indexes into the slice, so every holder of
+// the map must list the shards identically.
+func NewShardMap(addrs ...string) *ShardMap {
+	return NewShardMapVersion(1, addrs...)
+}
+
+// NewShardMapVersion builds a map with an explicit version, for a
+// coordinator handing out successive generations during a reshard.
+func NewShardMapVersion(version uint64, addrs ...string) *ShardMap {
+	cp := make([]string, len(addrs))
+	for i, a := range addrs {
+		cp[i] = strings.TrimSpace(a)
+	}
+	return &ShardMap{version: version, addrs: cp}
+}
+
+// ParseShardAddrs splits a comma-separated endpoint list — the lassd
+// -cass flag syntax — into a ShardMap.
+func ParseShardAddrs(spec string) *ShardMap {
+	parts := strings.Split(spec, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	return NewShardMap(addrs...)
+}
+
+// Version returns the map's generation.
+func (m *ShardMap) Version() uint64 { return m.version }
+
+// Len returns the shard count.
+func (m *ShardMap) Len() int { return len(m.addrs) }
+
+// Addrs returns a copy of the shard endpoints, in shard order.
+func (m *ShardMap) Addrs() []string { return append([]string(nil), m.addrs...) }
+
+// Addr returns shard i's endpoint.
+func (m *ShardMap) Addr(i int) string { return m.addrs[i] }
+
+// ShardFor returns the shard index owning the named context.
+func (m *ShardMap) ShardFor(contextName string) int {
+	return ShardIndex(contextName, len(m.addrs))
+}
+
+// AddrFor returns the endpoint of the shard owning the named context.
+func (m *ShardMap) AddrFor(contextName string) string {
+	return m.addrs[m.ShardFor(contextName)]
+}
+
+// ShardIndex hashes a context name onto [0, n). FNV-1a: fast, stable
+// across processes and architectures (no seed, no word-size
+// dependence) — the property a map shared by clients and daemons
+// needs. Exposed so cassd's enforcement and the router agree by
+// construction.
+func ShardIndex(contextName string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(contextName); i++ {
+		h ^= uint64(contextName[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// ParseShardSpec parses the cassd -shard flag syntax "i/n" (shard i of
+// n, 0-based) into its parts.
+func ParseShardSpec(spec string) (index, total int, err error) {
+	i := strings.IndexByte(spec, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("shard spec %q: want i/n", spec)
+	}
+	index, err = strconv.Atoi(spec[:i])
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard spec %q: bad index: %v", spec, err)
+	}
+	total, err = strconv.Atoi(spec[i+1:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard spec %q: bad total: %v", spec, err)
+	}
+	if total < 1 || index < 0 || index >= total {
+		return 0, 0, fmt.Errorf("shard spec %q: index out of range", spec)
+	}
+	return index, total, nil
+}

@@ -1,0 +1,140 @@
+package interop
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"tdp/internal/attrspace"
+	"tdp/internal/wire"
+)
+
+// TestMixedVersionShardPool drives the v2 LASS router against a pool
+// whose members disagree about the protocol era: shard 0 is a current,
+// shard-aware daemon (enforces its hash range, speaks the pooled C*
+// verbs), while shard 1 is a legacy single-shard CASS — no ctxop cap,
+// no shard enforcement — exactly the state of a fleet mid-upgrade.
+// Every global operation, including the scatter-gather ones, must work
+// across both; the router must take the pooled path to the modern
+// shard and fall back to per-context connections for the legacy one.
+func TestMixedVersionShardPool(t *testing.T) {
+	// Shard 0: modern, enforcing its slice of the hash ring.
+	modern := attrspace.NewServer()
+	if err := modern.SetShard(0, 2); err != nil {
+		t.Fatalf("SetShard: %v", err)
+	}
+	modernAddr, err := modern.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("modern ListenAndServe: %v", err)
+	}
+	defer modern.Close()
+
+	// Shard 1: a legacy daemon. It predates both the C* verbs and
+	// shard enforcement, so strip CapCtxOp and skip SetShard — it will
+	// happily host any context it is handed, like a pre-partitioning
+	// CASS would.
+	legacy := attrspace.NewServer()
+	var legacyCaps []string
+	for _, cap := range legacy.Caps() {
+		if cap != wire.CapCtxOp {
+			legacyCaps = append(legacyCaps, cap)
+		}
+	}
+	legacy.SetCaps(legacyCaps...)
+	legacyAddr, err := legacy.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("legacy ListenAndServe: %v", err)
+	}
+	defer legacy.Close()
+
+	lass := attrspace.NewServer()
+	lass.EnableGlobalCache(modernAddr+","+legacyAddr, attrspace.CacheConfig{
+		SweepInterval:  50 * time.Millisecond,
+		ShardHeartbeat: 50 * time.Millisecond,
+	})
+	lassAddr, err := lass.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("lass ListenAndServe: %v", err)
+	}
+	defer lass.Close()
+
+	// One context per shard, found by the same hash the router uses.
+	ctxs := make([]string, 2)
+	for i := 0; ctxs[0] == "" || ctxs[1] == ""; i++ {
+		name := fmt.Sprintf("pool-%d", i)
+		if idx := attrspace.ShardIndex(name, 2); ctxs[idx] == "" {
+			ctxs[idx] = name
+		}
+	}
+	bg := context.Background()
+
+	// Single-context ops on both eras, routed through the one LASS.
+	for i, name := range ctxs {
+		c, err := attrspace.Dial(nil, lassAddr, name)
+		if err != nil {
+			t.Fatalf("Dial(%q): %v", name, err)
+		}
+		defer c.Close()
+		if err := c.PutGlobal(bg, "era", fmt.Sprintf("shard%d", i)); err != nil {
+			t.Fatalf("PutGlobal(%q): %v", name, err)
+		}
+		if v, err := c.TryGetGlobal(bg, "era"); err != nil || v != fmt.Sprintf("shard%d", i) {
+			t.Fatalf("TryGetGlobal(%q) = %q, %v", name, v, err)
+		}
+	}
+
+	// The values must have landed on the owning daemons, legacy
+	// included — visible to a direct client of each.
+	for i, addr := range []string{modernAddr, legacyAddr} {
+		direct, err := attrspace.Dial(nil, addr, ctxs[i])
+		if err != nil {
+			t.Fatalf("direct Dial shard %d: %v", i, err)
+		}
+		if v, err := direct.TryGet("era"); err != nil || v != fmt.Sprintf("shard%d", i) {
+			t.Fatalf("shard %d missing its value: %q, %v", i, v, err)
+		}
+		direct.Close()
+	}
+
+	// Scatter-gather spans the eras: one GSNAPM and one GCTXS must
+	// merge the modern shard's pooled reply with the legacy shard's
+	// fallback reply.
+	c, err := attrspace.Dial(nil, lassAddr, ctxs[0])
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	snaps, err := c.SnapshotGlobalMany(bg, ctxs)
+	if err != nil {
+		t.Fatalf("SnapshotGlobalMany: %v", err)
+	}
+	for i, name := range ctxs {
+		if snaps[name]["era"] != fmt.Sprintf("shard%d", i) {
+			t.Errorf("GSNAPM[%q] = %v, want era=shard%d", name, snaps[name], i)
+		}
+	}
+	names, err := c.GlobalContexts(bg)
+	if err != nil {
+		t.Fatalf("GlobalContexts: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, name := range ctxs {
+		if !seen[name] {
+			t.Errorf("GlobalContexts missing %q (got %v)", name, names)
+		}
+	}
+
+	// The router must have exercised both paths: pooled C* verbs to
+	// the modern shard, per-context fallback to the legacy one.
+	reg := lass.Telemetry().Snapshot()
+	if reg.Counters["attrspace.router.pooled"] == 0 {
+		t.Errorf("no pooled ops recorded — modern shard not using C* verbs")
+	}
+	if reg.Counters["attrspace.router.fallback"] == 0 {
+		t.Errorf("no fallback ops recorded — legacy shard not exercised")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"net"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -94,11 +95,16 @@ type Node struct {
 	mu           sync.Mutex
 	up           *wire.Conn
 	upMux        *wire.Mux // non-nil once the parent granted the mux cap
+	upBatch      bool      // parent granted tbatch: whole drain cycles ride one frame
 	reconnecting bool
 	children     map[string]*childState
 	totals       map[string]paradyn.FuncStats
 	synthetic    map[string]paradyn.FuncStats // host_down and friends
 	lastSelf     telemetry.Snapshot           // last self-published registry state
+	fnsDirty     bool                         // a profile sample arrived since the last reduce
+	selfEvery    int                          // flush cycles between self-registry publications
+	selfCount    int                          // cycles until the next one (0 = due now)
+	selfForce    bool                         // publish self on the next flush regardless
 	doneCount    int
 	exitAgg      string
 	closed       bool
@@ -169,6 +175,20 @@ func NewNode(cfg Config) (*Node, error) {
 		upReady:     make(chan struct{}),
 		sessionDone: make(chan struct{}),
 	}
+	// Self-registry publication rides the flush loop but at a coarser
+	// cadence (~100ms, at most every 16th cycle): snapshotting and
+	// diffing the registry every millisecond-scale cycle costs more CPU
+	// than forwarding the children's streams does, and the node's own
+	// wire counters change on every message, so publishing them each
+	// cycle keeps every uplink permanently dirty. Event edges that must
+	// not wait (child death, resync, session end) force an immediate
+	// publication, and TreeSnapshot publishes on demand.
+	n.selfEvery = int(100 * time.Millisecond / cfg.FlushInterval)
+	if n.selfEvery < 1 {
+		n.selfEvery = 1
+	} else if n.selfEvery > 16 {
+		n.selfEvery = 16
+	}
 	n.streams = newStreamAgg(cfg.StreamBuffer, newStreamMetrics(n.reg))
 	if cfg.ExpectedChildren <= 0 {
 		if err := n.connectUpstream(false); err != nil {
@@ -217,10 +237,10 @@ func (n *Node) connectUpstream(resume bool) error {
 		Set("executable", fmt.Sprintf("aggregate(%d children)", children)).
 		SetInt("pid", 0).
 		SetInt("rank", 0).
-		// Offer the transport-v2 mux. A parent node acks with OK
-		// caps=mux and the uplink upgrades; the real front-end ignores
-		// the field and everything stays v1.
-		Set("caps", wire.CapMux)
+		// Offer the transport-v2 mux and batched flushes. A parent node
+		// acks with OK caps=mux,tbatch and the uplink upgrades; the real
+		// front-end ignores the field and everything stays v1.
+		Set("caps", wire.CapMux+","+wire.CapTBatch)
 	if resume {
 		reg.Set("resume", "1")
 	}
@@ -231,11 +251,14 @@ func (n *Node) connectUpstream(resume bool) error {
 	n.mu.Lock()
 	n.up = up
 	n.upMux = nil
+	n.upBatch = false
 	n.reconnecting = false
 	if resume {
 		// The new parent session starts from nothing: resend every
-		// function total on the next flush.
+		// function total and the self registry on the next flush.
 		clear(n.totals)
+		n.fnsDirty = true
+		n.selfForce = true
 	}
 	n.mu.Unlock()
 	if resume {
@@ -263,16 +286,21 @@ func (n *Node) connectUpstream(resume bool) error {
 			}
 			switch m.Verb {
 			case "OK":
-				// A parent node acking our registration with the mux cap:
-				// upgrade the uplink so samples ride a flow-controlled
-				// stream instead of the bare connection.
-				if wire.ParseCaps(m.Get("caps"))[wire.CapMux] {
-					n.mu.Lock()
-					if n.up == up && n.upMux == nil {
+				// A parent node acking our registration: upgrade the
+				// uplink per granted cap — mux puts samples on a
+				// flow-controlled stream, tbatch collapses each drain
+				// cycle into one frame.
+				caps := wire.ParseCaps(m.Get("caps"))
+				n.mu.Lock()
+				if n.up == up {
+					if caps[wire.CapMux] && n.upMux == nil {
 						n.upMux = wire.NewMux(up, wire.MuxConfig{Registry: n.reg})
 					}
-					n.mu.Unlock()
+					if caps[wire.CapTBatch] {
+						n.upBatch = true
+					}
 				}
+				n.mu.Unlock()
 			case "RUN":
 				n.multicastRun()
 			}
@@ -292,6 +320,7 @@ func (n *Node) upstreamLost(up *wire.Conn) {
 	n.up = nil
 	x := n.upMux
 	n.upMux = nil
+	n.upBatch = false
 	if n.reconnecting {
 		n.mu.Unlock()
 		if x != nil {
@@ -427,16 +456,26 @@ func (n *Node) handleChild(raw net.Conn) {
 	count := len(n.children)
 	runAlready := n.runRecvd
 	needUpstream := n.up == nil && !n.reconnecting && n.cfg.ExpectedChildren > 0 && count >= n.cfg.ExpectedChildren
+	n.selfForce = true // topology changed: republish mrnet.tree.* promptly
 	n.mu.Unlock()
 
-	// Grant the mux cap to children that offered it (child nodes do;
-	// plain daemons and old binaries never see the ack). The mux runs
-	// receive-side here: Accept meters the child's stamped samples and
-	// returns window credit as WINUPs.
+	// Grant the mux and tbatch caps to children that offered them
+	// (child nodes do; plain daemons and old binaries never see the
+	// ack). The mux runs receive-side here: Accept meters the child's
+	// stamped samples and returns window credit as WINUPs. tbatch lets
+	// the child pack each drain cycle into one TBATCH frame.
 	var cm *wire.Mux
-	if wire.ParseCaps(first.Get("caps"))[wire.CapMux] {
+	childCaps := wire.ParseCaps(first.Get("caps"))
+	var granted []string
+	if childCaps[wire.CapMux] {
 		cm = wire.NewMux(wc, wire.MuxConfig{Registry: n.reg})
-		wc.Send(wire.NewMessage("OK").Set("caps", wire.CapMux))
+		granted = append(granted, wire.CapMux)
+	}
+	if childCaps[wire.CapTBatch] {
+		granted = append(granted, wire.CapTBatch)
+	}
+	if len(granted) > 0 {
+		wc.Send(wire.NewMessage("OK").Set("caps", strings.Join(granted, ",")))
 	}
 
 	if replacing {
@@ -461,9 +500,12 @@ func (n *Node) handleChild(raw net.Conn) {
 		wc.Send(wire.NewMessage("RUN"))
 	}
 
+	// The receive loop owns its message and dispatches synchronously, so
+	// RecvInto's map reuse applies: at fan-in rates (64 daemons × one
+	// sample per cycle) the per-message allocation is measurable.
+	m := new(wire.Message)
 	for {
-		m, err := wc.Recv()
-		if err != nil {
+		if err := wc.RecvInto(m); err != nil {
 			n.childGone(child)
 			raw.Close()
 			return
@@ -479,7 +521,36 @@ func (n *Node) handleChild(raw net.Conn) {
 			us, _ := strconv.ParseInt(m.Get("time_us"), 10, 64)
 			n.mu.Lock()
 			child.latest[m.Get("fn")] = paradyn.FuncStats{Calls: calls, TimeMicros: us}
+			n.fnsDirty = true
 			n.mu.Unlock()
+		case "TBATCH":
+			// One whole drain cycle from a batching child: its dirty
+			// profile functions and telemetry streams in one frame.
+			profs, tels, err := wire.ParseTBatch(m)
+			if err != nil {
+				wc.Send(wire.NewMessage("ERROR").Set("error", err.Error()))
+				continue
+			}
+			n.mu.Lock()
+			for _, p := range profs {
+				child.latest[p.Fn] = paradyn.FuncStats{Calls: p.Calls, TimeMicros: p.TimeUS}
+			}
+			if len(profs) > 0 {
+				n.fnsDirty = true
+			}
+			n.mu.Unlock()
+			needFlush := false
+			for _, ts := range tels {
+				// Batched items carry no per-item trace spans — the
+				// tradeoff of one frame per cycle; the cycle itself is
+				// still counted by the flush metrics.
+				if n.streams.update(child.name, ts, "", "") {
+					needFlush = true
+				}
+			}
+			if needFlush {
+				n.flush()
+			}
 		case "TSAMPLE":
 			ts, err := wire.ParseTSample(m)
 			if err != nil {
@@ -513,6 +584,9 @@ func (n *Node) handleChild(raw net.Conn) {
 				}
 			}
 			allDone := n.cfg.ExpectedChildren > 0 && n.doneCount >= n.cfg.ExpectedChildren
+			if allDone {
+				n.selfForce = true // final flush carries the full self state
+			}
 			n.mu.Unlock()
 			if allDone {
 				n.flush()
@@ -538,6 +612,8 @@ func (n *Node) childGone(child *childState) {
 	s := n.synthetic["host_down"]
 	s.Calls++
 	n.synthetic["host_down"] = s
+	n.fnsDirty = true
+	n.selfForce = true // hosts.down must not wait for the self cadence
 	n.mu.Unlock()
 	n.reg.Counter("mrnet.hosts.down").Inc()
 	n.streams.retire(child.name)
@@ -676,20 +752,38 @@ func (n *Node) flushLoop() {
 // changed. With the parent gone it leaves state dirty for the
 // reconnect resync.
 func (n *Node) flush() {
-	n.publishSelf()
+	n.mu.Lock()
+	doSelf := n.selfForce || n.selfCount <= 0
+	if doSelf {
+		n.selfForce = false
+		n.selfCount = n.selfEvery
+	}
+	n.selfCount--
+	n.mu.Unlock()
+	if doSelf {
+		n.publishSelf()
+	}
 	n.mu.Lock()
 	up := n.up
 	upX := n.upMux
+	batch := n.upBatch
 	if up == nil || n.closed {
 		n.mu.Unlock()
 		return
 	}
-	reduced := n.reduce()
+	var reduced map[string]paradyn.FuncStats
 	var dirty []string
-	for fn, s := range reduced {
-		if n.totals[fn] != s {
-			n.totals[fn] = s
-			dirty = append(dirty, fn)
+	if n.fnsDirty {
+		// Recomputing the profile reduction walks every child's latest
+		// map; skip the walk entirely on the (steady-state) cycles where
+		// no SAMPLE arrived, since the totals cannot have changed.
+		n.fnsDirty = false
+		reduced = n.reduce()
+		for fn, s := range reduced {
+			if n.totals[fn] != s {
+				n.totals[fn] = s
+				dirty = append(dirty, fn)
+			}
 		}
 	}
 	n.mu.Unlock()
@@ -706,6 +800,60 @@ func (n *Node) flush() {
 	send := up.Send
 	if upX != nil {
 		send = func(m *wire.Message) error { return upX.SendOn(wire.StreamSamples, m) }
+	}
+	if batch {
+		// CapTBatch uplink: the drain cycle's dirty profile functions
+		// and untraced telemetry streams leave as one TBATCH frame. This
+		// is what keeps a reduction level from costing more frames than
+		// it saves: without it the self-published registry diffs alone
+		// keep ~6 streams dirty per node per cycle, and each level of
+		// the tree multiplies that into per-stream frames. Items
+		// carrying a trace context stay on individual TSAMPLEs — the
+		// per-hop span chain is the point of stamping them, and they are
+		// rare enough not to matter for frame rate.
+		profs := make([]wire.BatchProfileSample, 0, len(dirty))
+		for _, fn := range dirty {
+			s := reduced[fn]
+			profs = append(profs, wire.BatchProfileSample{Fn: fn, Calls: s.Calls, TimeUS: s.TimeMicros})
+		}
+		tels := make([]wire.TelemetrySample, 0, len(items))
+		var traced []flushItem
+		for _, it := range items {
+			if it.tid != "" {
+				traced = append(traced, it)
+				continue
+			}
+			tels = append(tels, it.sample)
+		}
+		up.Cork()
+		var err error
+		if len(profs)+len(tels) > 0 {
+			m, merr := wire.EncodeTBatch(profs, tels)
+			if merr == nil {
+				err = send(m)
+			}
+		}
+		for _, it := range traced {
+			if err != nil {
+				break
+			}
+			msg, merr := it.sample.Message()
+			if merr != nil {
+				continue
+			}
+			sp := n.tracer.StartChild("mrnet.flush", it.tid, it.sid)
+			msg.SetTrace(it.tid, sp.SpanID())
+			sp.End()
+			err = send(msg)
+		}
+		if uerr := up.Uncork(); err == nil {
+			err = uerr
+		}
+		if err != nil {
+			n.streams.met.lost.Add(int64(len(items)))
+			n.upstreamLost(up)
+		}
+		return
 	}
 	up.Cork()
 	var err error

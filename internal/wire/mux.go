@@ -379,6 +379,15 @@ const (
 	CapChunk = "chunk"
 	// CapPing: wire-level PING/PONG liveness probes.
 	CapPing = "ping"
+	// CapCtxOp: the C* context-explicit verbs (CPUT, CGET, ...), which
+	// carry the target context per message instead of binding the whole
+	// connection to one context at HELLO. This is what lets a shard
+	// router keep one pooled connection per CASS shard and route any
+	// context's operations over it.
+	CapCtxOp = "ctxop"
+	// CapTBatch: the TBATCH verb — a whole mrnet drain cycle's SAMPLE
+	// and TSAMPLE updates packed into one frame on a node→node uplink.
+	CapTBatch = "tbatch"
 )
 
 // ParseCaps splits a comma-separated capability list into a set.

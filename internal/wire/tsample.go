@@ -84,6 +84,110 @@ func ParseTSample(m *Message) (TelemetrySample, error) {
 	return ts, nil
 }
 
+// BatchProfileSample is one profile-function entry (the SAMPLE verb's
+// payload) inside a TBATCH frame.
+type BatchProfileSample struct {
+	Fn     string
+	Calls  int64
+	TimeUS int64
+}
+
+// EncodeTBatch packs one uplink drain cycle — every dirty profile
+// function plus every dirty telemetry stream — into a single TBATCH
+// frame (the CapTBatch capability). Without it a reduction node sends
+// one frame per dirty stream per cycle, and with self-published
+// registry diffs keeping several streams perpetually dirty that means
+// ~6 small frames per child per millisecond at the tree's upper
+// levels; batching collapses the cycle to one frame and one syscall.
+//
+// Layout: n=<count>, then per item i an o<i> kind code ("f" profile,
+// "c" counter, "g" gauge, "m" gaugemax, "h" hist), k<i> the fn/metric
+// name, v<i> the calls/value (hist: the HistogramSnapshot JSON), and
+// for profile items s<i> the cumulative time_us. The o/k/v/s keys are
+// interned vocabulary up to index 31, so the common small cycle costs
+// one byte per key on the wire.
+func EncodeTBatch(profs []BatchProfileSample, tels []TelemetrySample) (*Message, error) {
+	m := NewMessage("TBATCH").SetInt("n", len(profs)+len(tels))
+	i := 0
+	for _, p := range profs {
+		idx := strconv.Itoa(i)
+		m.Set("o"+idx, "f")
+		m.Set("k"+idx, p.Fn)
+		m.Set("v"+idx, strconv.FormatInt(p.Calls, 10))
+		m.Set("s"+idx, strconv.FormatInt(p.TimeUS, 10))
+		i++
+	}
+	for _, ts := range tels {
+		idx := strconv.Itoa(i)
+		switch ts.Kind {
+		case KindCounter:
+			m.Set("o"+idx, "c")
+		case KindGauge:
+			m.Set("o"+idx, "g")
+		case KindGaugeMax:
+			m.Set("o"+idx, "m")
+		case KindHist:
+			m.Set("o"+idx, "h")
+		default:
+			return nil, fmt.Errorf("wire: tbatch: unknown kind %q", ts.Kind)
+		}
+		m.Set("k"+idx, ts.Name)
+		if ts.Kind == KindHist {
+			data, err := json.Marshal(ts.Hist)
+			if err != nil {
+				return nil, fmt.Errorf("wire: tbatch %q: %w", ts.Name, err)
+			}
+			m.Set("v"+idx, string(data))
+		} else {
+			m.Set("v"+idx, strconv.FormatInt(ts.Value, 10))
+		}
+		i++
+	}
+	return m, nil
+}
+
+// ParseTBatch decodes a TBATCH frame back into its profile and
+// telemetry samples.
+func ParseTBatch(m *Message) ([]BatchProfileSample, []TelemetrySample, error) {
+	n, err := strconv.Atoi(m.Get("n"))
+	if err != nil || n < 0 || n > len(m.Fields) {
+		return nil, nil, fmt.Errorf("wire: tbatch: bad n %q", m.Get("n"))
+	}
+	var profs []BatchProfileSample
+	var tels []TelemetrySample
+	for i := 0; i < n; i++ {
+		idx := strconv.Itoa(i)
+		name := m.Get("k" + idx)
+		switch code := m.Get("o" + idx); code {
+		case "f":
+			calls, _ := strconv.ParseInt(m.Get("v"+idx), 10, 64)
+			us, _ := strconv.ParseInt(m.Get("s"+idx), 10, 64)
+			profs = append(profs, BatchProfileSample{Fn: name, Calls: calls, TimeUS: us})
+		case "c", "g", "m":
+			v, perr := strconv.ParseInt(m.Get("v"+idx), 10, 64)
+			if perr != nil {
+				return nil, nil, fmt.Errorf("wire: tbatch %q: bad value %q", name, m.Get("v"+idx))
+			}
+			kind := KindCounter
+			if code == "g" {
+				kind = KindGauge
+			} else if code == "m" {
+				kind = KindGaugeMax
+			}
+			tels = append(tels, TelemetrySample{Kind: kind, Name: name, Value: v})
+		case "h":
+			ts := TelemetrySample{Kind: KindHist, Name: name}
+			if jerr := json.Unmarshal([]byte(m.Get("v"+idx)), &ts.Hist); jerr != nil {
+				return nil, nil, fmt.Errorf("wire: tbatch %q: bad histogram: %w", name, jerr)
+			}
+			tels = append(tels, ts)
+		default:
+			return nil, nil, fmt.Errorf("wire: tbatch item %d: unknown code %q", i, code)
+		}
+	}
+	return profs, tels, nil
+}
+
 // AppendSnapshotSamples converts a registry snapshot (typically a
 // SnapshotDiff since the last publication) into TSAMPLE samples,
 // appended to dst. Counters become counter streams, gauges gaugemax

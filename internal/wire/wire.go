@@ -85,6 +85,13 @@ func init() {
 		"ERROR", "EVENT", "CLOSE",
 		// Global-forwarding verbs (LASS → CASS relay).
 		"GPUT", "GMPUT", "GGET", "GTRYGET", "GDEL", "GSNAP",
+		"GSNAPM", "GCTXS",
+		// Context-explicit verbs (shard router → CASS shard, CapCtxOp):
+		// the pooled per-shard connection names the target context in a
+		// ctx field on every request instead of joining one at HELLO.
+		"CPUT", "CMPUT", "CGET", "CDEL", "CSNAP", "CCTXS",
+		// Batched uplink flush (mrnet node→node, CapTBatch).
+		"TBATCH",
 		// Tool-stream verbs (paradyn front-end protocol, mrnet
 		// reduction network, proxy handshake) — the monitoring fan-in
 		// hot path, where a pool of daemons emits a message per metric
@@ -100,6 +107,7 @@ func init() {
 		"fn", "calls", "time_us", "status", "host", "executable",
 		"pid", "rank", "kind", "name", "scope", "target", "resume",
 		"caps", "since", "part", "more", "total",
+		"ctx", "wait", "shard", "smv",
 		FieldTraceID, FieldSpanID, FieldStream, FieldWindow,
 	}
 	// Batched put / snapshot field keys k0..k31, v0..v31 (plus the
