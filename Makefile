@@ -5,10 +5,20 @@
 # transport) twice under the race detector with a pinned seed; vary
 # the seed with `make chaos TDP_CHAOS_SEED=7` to explore other fault
 # schedules. `make fuzz` is a short native-fuzzing smoke run over the
-# two parsers that face untrusted bytes (the wire decoder and the
-# ClassAd expression parser). `make bench` refreshes the committed
+# parsers that face untrusted or operator-typed bytes (the wire
+# decoder, the telemetry-sample codec, the ClassAd expression parser,
+# and the shard flag parsers). `make bench` refreshes the committed
 # hot-path baseline (BENCH_attrspace.json); `make benchdiff` re-runs
 # the same suite and fails on a >20% ns/op regression against it.
+#
+# `make scenario-smoke` runs the pre-built pool scenarios at smoke
+# scale under the race detector (part of tier1). `make scenario` is
+# the full tier — 10k+ host planes, shard loss under load, churn and
+# soak windows — and writes SCENARIO_<name>.json reports into the
+# repo root; compare against the committed baselines with
+# scripts/scenariodiff.sh (warn-only). Replay a failing run with
+# `go test ./internal/scenario -run TestScenariosFull -args
+# -scenario-seed=N` or TDP_SCENARIO_SEED=N.
 
 GO ?= go
 
@@ -32,14 +42,28 @@ BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpa
 # reproducible and a failure's schedule can be replayed exactly.
 TDP_CHAOS_SEED ?= 1
 
-.PHONY: all tier1 vet build test race chaos fuzz bench benchdiff
+# The scenario tiers' run seed; 0 lets each run resolve its own
+# (flag > TDP_SCENARIO_SEED env > 1).
+TDP_SCENARIO_SEED ?= 1
+
+.PHONY: all tier1 vet build test race chaos fuzz bench benchdiff scenario scenario-smoke scenariodiff
 
 all: tier1
 
-tier1: vet build race chaos
+tier1: vet build race chaos scenario-smoke
 
 chaos:
 	TDP_CHAOS_SEED=$(TDP_CHAOS_SEED) $(GO) test ./internal/attrspace -run 'Chaos' -race -count=2
+
+scenario-smoke:
+	TDP_SCENARIO_SEED=$(TDP_SCENARIO_SEED) $(GO) test ./internal/scenario -run TestScenariosSmoke -race -count=1
+
+scenario:
+	TDP_SCENARIO=full TDP_SCENARIO_SEED=$(TDP_SCENARIO_SEED) TDP_SCENARIO_DIR=$(CURDIR) \
+		$(GO) test ./internal/scenario -run TestScenariosFull -race -v -timeout 20m -count=1
+
+scenariodiff:
+	scripts/scenariodiff.sh
 
 vet:
 	$(GO) vet ./...
@@ -55,7 +79,10 @@ race:
 
 fuzz:
 	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecode -fuzztime=10s
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzTSample -fuzztime=10s
 	$(GO) test ./internal/classad -run='^$$' -fuzz=FuzzParse -fuzztime=10s
+	$(GO) test ./internal/attrspace -run='^$$' -fuzz=FuzzParseShardSpec -fuzztime=10s
+	$(GO) test ./internal/attrspace -run='^$$' -fuzz=FuzzParseShardAddrs -fuzztime=10s
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | tee bench.out

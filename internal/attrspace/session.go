@@ -813,9 +813,9 @@ func retryVal[T any](s *Session, ctx context.Context, op func(*Client) (T, error
 type putOutcome int
 
 const (
-	outcomeResend    putOutcome = iota // no evidence the write landed: re-send
-	outcomeLanded                      // the write is present: done
-	outcomeSuperseded                  // a newer write exists: re-sending would clobber it
+	outcomeResend     putOutcome = iota // no evidence the write landed: re-send
+	outcomeLanded                       // the write is present: done
+	outcomeSuperseded                   // a newer write exists: re-sending would clobber it
 )
 
 // probePut decides an interrupted put's fate by reading the attribute

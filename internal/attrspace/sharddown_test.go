@@ -1,0 +1,150 @@
+package attrspace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardDownTypedUnderScatterGather pins the degraded-mode error
+// contract across the full LASS hop under concurrency: with one CASS
+// shard dead, every failure a client sees for that shard's key range —
+// routed single-key ops and strict scatter-gather alike — must stay
+// errors.Is(ErrShardDown) even though the error crosses the wire as
+// ERROR text and is reconstructed client-side, while survivor ranges
+// and best-effort listings keep working with no failures at all.
+func TestShardDownTypedUnderScatterGather(t *testing.T) {
+	const n = 3
+	const victim = 1
+	shards := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		shards[i], addrs[i] = startServer(t)
+		if err := shards[i].SetShard(i, n); err != nil {
+			t.Fatalf("SetShard: %v", err)
+		}
+	}
+	lass := NewServer()
+	lass.EnableGlobalCache(addrs[0]+","+addrs[1]+","+addrs[2], CacheConfig{
+		SweepInterval:  50 * time.Millisecond,
+		ShardHeartbeat: 50 * time.Millisecond,
+	})
+	lassAddr, err := lass.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	t.Cleanup(lass.Close)
+
+	ctxs := shardedContexts(t, n)
+	survivors := make([]string, 0, n-1)
+	for i, name := range ctxs {
+		if i != victim {
+			survivors = append(survivors, name)
+		}
+	}
+
+	// One client per shard context; seed every range while healthy.
+	clients := make([]*Client, n)
+	for i := range clients {
+		c, err := Dial(nil, lassAddr, ctxs[i])
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+		opCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		err = c.PutGlobal(opCtx, "seed", ctxs[i])
+		cancel()
+		if err != nil {
+			t.Fatalf("seed shard %d: %v", i, err)
+		}
+	}
+
+	shards[victim].Close()
+	// Wait until the health sweep marks the victim down — from here on
+	// its range must fail fast and typed, never hang.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		opCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := clients[victim].PutGlobal(opCtx, "probe", "x")
+		cancel()
+		if errors.Is(err, ErrShardDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never reported ErrShardDown; last err: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	const workers, rounds = 4, 25
+	var (
+		mu         sync.Mutex
+		victimDown int // victim-range failures, all typed
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(w, i int) {
+				defer wg.Done()
+				c := clients[i]
+				for round := 0; round < rounds; round++ {
+					opCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+					err := c.PutGlobal(opCtx, fmt.Sprintf("k%d", w), fmt.Sprintf("v%d", round))
+					cancel()
+					if i == victim {
+						if err == nil {
+							fail("worker %d: write to dead shard %d succeeded", w, victim)
+						} else if !errors.Is(err, ErrShardDown) {
+							fail("worker %d: victim-range error lost its type: %v", w, err)
+						} else {
+							mu.Lock()
+							victimDown++
+							mu.Unlock()
+						}
+					} else if err != nil {
+						fail("worker %d: survivor shard %d failed: %v", w, i, err)
+					}
+
+					opCtx, cancel = context.WithTimeout(context.Background(), 3*time.Second)
+					// Strict scatter-gather spanning the dead shard: must
+					// fail, and the failure must stay typed end to end.
+					if _, err := c.SnapshotGlobalMany(opCtx, ctxs); err == nil {
+						fail("worker %d: SnapshotGlobalMany spanning dead shard succeeded", w)
+					} else if !errors.Is(err, ErrShardDown) {
+						fail("worker %d: scatter-gather error lost its type: %v", w, err)
+					}
+					// Survivor-only scatter-gather: degraded, not dead.
+					snaps, err := c.SnapshotGlobalMany(opCtx, survivors)
+					if err != nil {
+						fail("worker %d: survivor scatter-gather failed: %v", w, err)
+					} else {
+						for _, name := range survivors {
+							if snaps[name]["seed"] != name {
+								fail("worker %d: survivor %s snapshot lost seed: %v", w, name, snaps[name])
+							}
+						}
+					}
+					// Best-effort listing must keep answering.
+					if _, err := c.GlobalContexts(opCtx); err != nil {
+						fail("worker %d: GlobalContexts during degraded mode: %v", w, err)
+					}
+					cancel()
+				}
+			}(w, i)
+		}
+	}
+	wg.Wait()
+	if want := workers * rounds; victimDown != want {
+		t.Errorf("victim-range typed failures = %d, want %d", victimDown, want)
+	}
+}

@@ -1,0 +1,72 @@
+package attrspace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseShardSpec hammers the cassd -shard flag parser ("i/n"):
+// it must never panic, and anything it accepts must be a well-formed
+// 0-based shard coordinate.
+func FuzzParseShardSpec(f *testing.F) {
+	f.Add("0/1")
+	f.Add("2/3")
+	f.Add("3/3")
+	f.Add("-1/4")
+	f.Add("1/0")
+	f.Add("/")
+	f.Add("1/2/3")
+	f.Add("0x1/2")
+	f.Add("9999999999999999999/9999999999999999999")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		index, total, err := ParseShardSpec(spec)
+		if err != nil {
+			return
+		}
+		if total < 1 || index < 0 || index >= total {
+			t.Fatalf("ParseShardSpec(%q) accepted out-of-range coordinate %d/%d", spec, index, total)
+		}
+		// An accepted spec must route: every context lands on [0, total).
+		if idx := ShardIndex("job-0", total); idx < 0 || idx >= total {
+			t.Fatalf("ShardIndex with total=%d returned %d", total, idx)
+		}
+	})
+}
+
+// FuzzParseShardAddrs hammers the lassd -cass flag parser (comma
+// list): never panic, the resulting map's length must equal the count
+// of non-empty trimmed segments, and every retained address must be
+// trimmed and non-empty.
+func FuzzParseShardAddrs(f *testing.F) {
+	f.Add("127.0.0.1:7001")
+	f.Add("a:1,b:2,c:3")
+	f.Add(" a:1 , b:2 ")
+	f.Add(",,,")
+	f.Add("")
+	f.Add("a:1,,b:2")
+	f.Add("\t\n,x")
+	f.Fuzz(func(t *testing.T, spec string) {
+		m := ParseShardAddrs(spec)
+		want := 0
+		for _, p := range strings.Split(spec, ",") {
+			if strings.TrimSpace(p) != "" {
+				want++
+			}
+		}
+		if m.Len() != want {
+			t.Fatalf("ParseShardAddrs(%q).Len() = %d, want %d", spec, m.Len(), want)
+		}
+		for i, a := range m.Addrs() {
+			if a == "" || a != strings.TrimSpace(a) {
+				t.Fatalf("ParseShardAddrs(%q) addr %d = %q: untrimmed or empty", spec, i, a)
+			}
+		}
+		if m.Len() > 0 {
+			// Routing over an accepted map never escapes its range.
+			if idx := m.ShardFor("job-42"); idx < 0 || idx >= m.Len() {
+				t.Fatalf("ShardFor out of range: %d of %d", idx, m.Len())
+			}
+		}
+	})
+}

@@ -747,6 +747,14 @@ func (n *Node) flushLoop() {
 	}
 }
 
+// Flush drives one flush cycle by hand: reduced samples and telemetry
+// aggregates that changed since the last cycle go upstream now. Safe
+// to call from any goroutine, concurrently with the timer-driven
+// flushLoop. Harnesses configure a very long FlushInterval and call
+// this (bottom-up across a tree — see Tree.FlushUp) so convergence is
+// a function of flush rounds, not wall-clock timing.
+func (n *Node) Flush() { n.flush() }
+
 // flush sends upstream, in one corked burst, every function whose
 // reduced value changed and every telemetry stream whose aggregate
 // changed. With the parent gone it leaves state dirty for the

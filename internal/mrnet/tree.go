@@ -30,6 +30,10 @@ type TreeConfig struct {
 	Levels int
 	// Dial opens raw connections; nil uses TCP.
 	Dial DialFunc
+	// Listen opens one listener per node; nil binds TCP loopback.
+	// Scenario harnesses use this to put nodes on simulated hosts
+	// (netsim), where the matching Dial can reach them.
+	Listen func() (net.Listener, error)
 	// ProxyAddr, when set, routes every parent-ward connection through
 	// the CONNECT proxy at that address.
 	ProxyAddr string
@@ -68,6 +72,17 @@ func (t *Tree) Close() {
 	}
 }
 
+// FlushUp drives one reduction round bottom-up: every node flushes its
+// dirty streams to its parent, leaves first, root last. Harnesses that
+// build trees with a very long FlushInterval call this to make sample
+// propagation deterministic (the root rollup converges in a bounded
+// number of rounds instead of on timer ticks).
+func (t *Tree) FlushUp() {
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		t.nodes[i].Flush()
+	}
+}
+
 // shareOf returns how many of total items land on bucket i when
 // distributed round-robin over buckets.
 func shareOf(total, buckets, i int) int {
@@ -98,6 +113,9 @@ func BuildReductionTree(cfg TreeConfig) (*Tree, error) {
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Listen == nil {
+		cfg.Listen = func() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
 	}
 	dial := cfg.Dial
 	if cfg.ProxyAddr != "" {
@@ -145,7 +163,7 @@ func BuildReductionTree(cfg TreeConfig) (*Tree, error) {
 			if lvl > 0 {
 				expect = shareOf(sizes[lvl-1], sizes[lvl], i)
 			}
-			l, err := net.Listen("tcp", "127.0.0.1:0")
+			l, err := cfg.Listen()
 			if err != nil {
 				return fail(err)
 			}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"tdp/internal/netsim"
 	"tdp/internal/wire"
@@ -86,12 +87,24 @@ func TestForwarderTunnelsThroughFirewall(t *testing.T) {
 	if string(buf) != string(msg) {
 		t.Errorf("echo = %q", buf)
 	}
-	tunnels, bytes := fw.Stats()
+	tunnels, _ := fw.Stats()
 	if tunnels != 1 {
 		t.Errorf("tunnels = %d", tunnels)
 	}
-	if bytes < int64(len(msg)) {
-		t.Errorf("bytes = %d, want >= %d", bytes, len(msg))
+	// The byte counter is live-while-open: countWriter adds after the
+	// relayed Write returns, so the echo can race back here before the
+	// Add lands. Converge instead of asserting an instantaneous value.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, bytes := fw.Stats(); bytes >= int64(len(msg)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, bytes := fw.Stats()
+			t.Errorf("bytes = %d, want >= %d", bytes, len(msg))
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"sync"
+	"time"
+
+	"tdp/internal/telemetry"
+)
+
+// Buckets for scenario-scale latencies: wider than the wire-level
+// DefBuckets because a scenario op can span negotiation, tool attach,
+// or a full reconnect — 5µs up to 30s, in seconds.
+var scenarioBuckets = []float64{
+	5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10, 30,
+}
+
+// phaseMetrics collects one phase's distributions: named latency
+// histograms (telemetry.Histogram, so the merge/quantile machinery is
+// shared with the live system) and named counters. One instance per
+// phase execution; the runner snapshots it into the report when the
+// phase ends.
+type phaseMetrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	counters map[string]int64
+	hists    map[string]*telemetry.Histogram
+}
+
+func newPhaseMetrics() *phaseMetrics {
+	return &phaseMetrics{
+		start:    time.Now(),
+		counters: make(map[string]int64),
+		hists:    make(map[string]*telemetry.Histogram),
+	}
+}
+
+func (pm *phaseMetrics) observe(name string, d time.Duration) {
+	pm.mu.Lock()
+	h := pm.hists[name]
+	if h == nil {
+		h = telemetry.NewHistogram(scenarioBuckets)
+		pm.hists[name] = h
+	}
+	pm.mu.Unlock()
+	// Histogram observation is lock-free; only map access is guarded.
+	h.ObserveDuration(d)
+}
+
+func (pm *phaseMetrics) count(name string, delta int64) {
+	pm.mu.Lock()
+	pm.counters[name] += delta
+	pm.mu.Unlock()
+}
+
+// summarize renders the collected metrics for the report. elapsed is
+// the phase wall time, used for rates.
+func (pm *phaseMetrics) summarize(elapsed time.Duration) (map[string]int64, map[string]LatencySummary) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	var counters map[string]int64
+	if len(pm.counters) > 0 {
+		counters = make(map[string]int64, len(pm.counters))
+		for k, v := range pm.counters {
+			counters[k] = v
+		}
+	}
+	var lats map[string]LatencySummary
+	if len(pm.hists) > 0 {
+		lats = make(map[string]LatencySummary, len(pm.hists))
+		for k, h := range pm.hists {
+			s := h.Snapshot()
+			sum := LatencySummary{
+				Count:  s.Count,
+				MeanUS: s.Mean() * 1e6,
+				P50US:  s.Quantile(0.50) * 1e6,
+				P90US:  s.Quantile(0.90) * 1e6,
+				P99US:  s.Quantile(0.99) * 1e6,
+			}
+			if elapsed > 0 {
+				sum.RatePerSec = float64(s.Count) / elapsed.Seconds()
+			}
+			lats[k] = sum
+		}
+	}
+	return counters, lats
+}

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Report is the JSON artifact of one scenario run: SCENARIO_<name>.json
+// beside BENCH_attrspace.json. It records the seed (for replay), the
+// pool size, pass/fail with the failure site, and per-phase counters
+// and latency/throughput distributions.
+type Report struct {
+	Scenario    string        `json:"scenario"`
+	Description string        `json:"description,omitempty"`
+	Seed        int64         `json:"seed"`
+	Hosts       int           `json:"hosts,omitempty"`
+	Start       time.Time     `json:"start"`
+	DurationMS  float64       `json:"duration_ms"`
+	Passed      bool          `json:"passed"`
+	Failure     string        `json:"failure,omitempty"`
+	Phases      []PhaseReport `json:"phases"`
+}
+
+// PhaseReport is one phase's slice of the report.
+type PhaseReport struct {
+	Name        string                    `json:"name"`
+	DurationMS  float64                   `json:"duration_ms"`
+	Checkpoints []CheckpointReport        `json:"checkpoints,omitempty"`
+	Counters    map[string]int64          `json:"counters,omitempty"`
+	Latencies   map[string]LatencySummary `json:"latencies,omitempty"`
+}
+
+// CheckpointReport records one invariant's outcome.
+type CheckpointReport struct {
+	Name   string `json:"name"`
+	Passed bool   `json:"passed"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// LatencySummary is one distribution, microseconds for readability
+// (the raw buckets live in the telemetry histograms; the report keeps
+// the headline quantiles plus the phase-relative rate).
+type LatencySummary struct {
+	Count      int64   `json:"count"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	MeanUS     float64 `json:"mean_us"`
+	P50US      float64 `json:"p50_us"`
+	P90US      float64 `json:"p90_us"`
+	P99US      float64 `json:"p99_us"`
+}
+
+// Write renders the report as SCENARIO_<scenario>.json under dir.
+func (rep *Report) Write(dir string) (string, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("SCENARIO_%s.json", rep.Scenario))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzTSample hammers the telemetry-sample codec from the field side:
+// build a TSAMPLE message out of arbitrary kind/name/value/json
+// fields, and require that ParseTSample never panics and that any
+// sample it accepts round-trips stably through Message() — the
+// property the reduction tree relies on when it re-encodes merged
+// streams at every level.
+func FuzzTSample(f *testing.F) {
+	f.Add("counter", "attr.puts", "42", "")
+	f.Add("gauge", "pool.size", "-1", "")
+	f.Add("gaugemax", "mrnet.tree.depth", "3", "")
+	f.Add("hist", "attr.put.lat", "", `{"count":2,"sum":10,"buckets":[1,1]}`)
+	f.Add("hist", "x", "", `{`)
+	f.Add("counter", "", "1", "")
+	f.Add("counter", "n", "not-a-number", "")
+	f.Add("bogus", "n", "1", "")
+	f.Add("counter", "n", "9223372036854775807", "")
+	f.Add("counter", "n", "-9223372036854775809", "")
+	f.Fuzz(func(t *testing.T, kind, name, value, hist string) {
+		m := NewMessage("TSAMPLE").Set("kind", kind).Set("name", name)
+		if value != "" {
+			m.Set("value", value)
+		}
+		if hist != "" {
+			m.Set("json", hist)
+		}
+		ts, err := ParseTSample(m)
+		if err != nil {
+			return
+		}
+		if ts.Name == "" {
+			t.Fatalf("ParseTSample accepted a nameless sample: %+v", ts)
+		}
+		switch ts.Kind {
+		case KindCounter, KindGauge, KindGaugeMax, KindHist:
+		default:
+			t.Fatalf("ParseTSample accepted unknown kind %q", ts.Kind)
+		}
+		// Accepted samples must survive re-encode + re-parse: that is
+		// what every interior tree node does to merged streams.
+		m2, err := ts.Message()
+		if err != nil {
+			t.Fatalf("accepted sample does not re-encode: %v", err)
+		}
+		again, err := ParseTSample(m2)
+		if err != nil {
+			t.Fatalf("re-encoded sample does not re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(again, ts) {
+			t.Fatalf("unstable round trip:\n  first  %+v\n  second %+v", ts, again)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+#!/bin/sh
+# scenariodiff.sh [dir]
+#
+# Compare the SCENARIO_*.json reports in dir (default: repo root)
+# against the committed baselines (git HEAD). For every phase the
+# report shows the wall-clock delta, and for every tracked latency
+# distribution the p99 delta.
+#
+# Warn-only by design, unlike benchdiff.sh: scenario timings are
+# dominated by deliberate sleeps, drain windows, and retry backoff, so
+# a hard gate would be flaky — but a scenario that suddenly takes 3x
+# as long or whose op p99 jumps an order of magnitude is exactly the
+# drift a reviewer wants surfaced. Exit status is always 0.
+set -eu
+dir=${1:-$(git rev-parse --show-toplevel)}
+: "${THRESHOLD:=50}"
+
+found=0
+for cur in "$dir"/SCENARIO_*.json; do
+	[ -e "$cur" ] || continue
+	found=1
+	name=$(basename "$cur")
+	if ! git -C "$dir" cat-file -e "HEAD:$name" 2>/dev/null; then
+		echo "new        $name (no committed baseline)"
+		continue
+	fi
+	base=$(mktemp)
+	git -C "$dir" show "HEAD:$name" >"$base"
+	echo "== $name"
+	awk -v thr="$THRESHOLD" '
+	FNR == 1 { file++ }
+	# Phase entries sit at indent 6 in the indent-2 report; checkpoint
+	# names sit deeper, so the indent anchors keep them apart.
+	/^      "name": /        { phase = $2; gsub(/[",]/, "", phase); inlat = 0 }
+	/^      "duration_ms": / {
+		v = $2 + 0
+		if (file == 1) bdur[phase] = v
+		else { cdur[phase] = v; if (!(phase in seen)) { seen[phase] = 1; order[np++] = phase } }
+	}
+	/^      "latencies": \{/ { inlat = 1 }
+	inlat && /^        "[^"]+": \{/ { lat = $1; gsub(/[":]/, "", lat) }
+	inlat && /^          "p99_us": / {
+		v = $2 + 0; key = phase "/" lat
+		if (file == 1) bp99[key] = v
+		else { cp99[key] = v; if (!(key in lseen)) { lseen[key] = 1; lorder[nl++] = key } }
+	}
+	function flag(delta) { return (delta > thr || delta < -thr) ? "drift" : "ok" }
+	END {
+		for (i = 0; i < np; i++) {
+			p = order[i]
+			if (!(p in bdur)) { printf "  new      phase %-32s %12.1f ms\n", p, cdur[p]; continue }
+			d = bdur[p] ? (cdur[p] - bdur[p]) / bdur[p] * 100 : 0
+			printf "  %-8s phase %-32s %10.1f -> %10.1f ms (%+6.1f%%)\n", flag(d), p, bdur[p], cdur[p], d
+		}
+		for (i = 0; i < nl; i++) {
+			k = lorder[i]
+			if (!(k in bp99)) { printf "  new      p99   %-32s %12.1f us\n", k, cp99[k]; continue }
+			d = bp99[k] ? (cp99[k] - bp99[k]) / bp99[k] * 100 : 0
+			printf "  %-8s p99   %-32s %10.1f -> %10.1f us (%+6.1f%%)\n", flag(d), k, bp99[k], cp99[k], d
+		}
+	}' "$base" "$cur"
+	rm -f "$base"
+done
+[ "$found" = 1 ] || echo "no SCENARIO_*.json reports in $dir (run make scenario first)"
+exit 0
