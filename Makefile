@@ -7,9 +7,12 @@
 # schedules. `make fuzz` is a short native-fuzzing smoke run over the
 # parsers that face untrusted or operator-typed bytes (the wire
 # decoder, the telemetry-sample codec, the ClassAd expression parser,
-# and the shard flag parsers). `make bench` refreshes the committed
-# hot-path baseline (BENCH_attrspace.json); `make benchdiff` re-runs
-# the same suite and fails on a >20% ns/op regression against it.
+# the transport mux's _stream/_win fields, and the shard flag
+# parsers). `make bench` refreshes the committed hot-path baseline
+# (BENCH_attrspace.json); `make benchdiff` re-runs the same suite and
+# fails on a >20% ns/op regression against it. `make bench-samehost`
+# re-runs just the same-host transport ladder (tcp / unix socket /
+# shm ring) and folds the trio into BENCH_attrspace.json in place.
 #
 # `make scenario-smoke` runs the pre-built pool scenarios at smoke
 # scale under the race detector (part of tier1). `make scenario` is
@@ -32,10 +35,10 @@ GO ?= go
 # The scaling benchmarks and the CASS shard-scaling curve are
 # contention/network shaped too, so they are recorded but excluded
 # from the regression gate (GATE_EXCLUDE in benchdiff.sh); the wire
-# codec benchmarks plus the two headline transport-v2 numbers
-# (SameHostPut, SessionResync) are the opposite — hard-required by
-# GATE_REQUIRE, so they can neither regress nor silently drop out of
-# the tracked set.
+# codec benchmarks plus the headline transport numbers (the
+# SameHostPut tcp/unix/shm ladder, SessionResync, MRNetFanIn) are the
+# opposite — hard-required by GATE_REQUIRE, so they can neither
+# regress nor silently drop out of the tracked set.
 BENCH_PATTERN ?= BenchmarkAttrSpacePut|BenchmarkAttrSpaceTryGet|BenchmarkAttrSpaceGetPresent|BenchmarkAttrSpaceAsync|BenchmarkWire|BenchmarkAttrSpaceManyContexts|BenchmarkGlobalGetCached|BenchmarkProxyRelay|BenchmarkMRNetFanIn|BenchmarkSameHostPut|BenchmarkSessionResync|BenchmarkMuxFanout|BenchmarkCASSSharded
 
 # The chaos suite's fault-injection seed; pinned so CI runs are
@@ -46,7 +49,7 @@ TDP_CHAOS_SEED ?= 1
 # (flag > TDP_SCENARIO_SEED env > 1).
 TDP_SCENARIO_SEED ?= 1
 
-.PHONY: all tier1 vet build test race chaos fuzz bench benchdiff scenario scenario-smoke scenariodiff
+.PHONY: all tier1 vet build test race chaos fuzz bench benchdiff bench-samehost scenario scenario-smoke scenariodiff
 
 all: tier1
 
@@ -79,6 +82,7 @@ race:
 
 fuzz:
 	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzDecode -fuzztime=10s
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzMux -fuzztime=10s
 	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzTSample -fuzztime=10s
 	$(GO) test ./internal/classad -run='^$$' -fuzz=FuzzParse -fuzztime=10s
 	$(GO) test ./internal/attrspace -run='^$$' -fuzz=FuzzParseShardSpec -fuzztime=10s
@@ -94,3 +98,12 @@ benchdiff:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . | scripts/bench2json.sh > bench.current.json
 	scripts/benchdiff.sh BENCH_attrspace.json bench.current.json
 	@rm -f bench.current.json
+
+bench-samehost:
+	$(GO) test -run '^$$' -bench 'BenchmarkSameHostPut' -benchmem -count=1 . \
+		| scripts/bench2json.sh > bench.samehost.json
+	scripts/benchmerge.sh BENCH_attrspace.json bench.samehost.json '^BenchmarkSameHostPut' \
+		> BENCH_attrspace.json.merged
+	mv BENCH_attrspace.json.merged BENCH_attrspace.json
+	@rm -f bench.samehost.json
+	@echo folded SameHostPut tcp/unix/shm into BENCH_attrspace.json

@@ -1,12 +1,12 @@
 package tdp_test
 
-// Transport-v2 benchmarks (EXPERIMENTS.md): the same-host unix-socket
-// fast path against loopback TCP, delta resync (SNAPD) bytes against a
-// full snapshot for a small gap in a large context, and event latency
-// under a concurrent bulk snapshot with and without stream
-// multiplexing. The first two back the PR's acceptance criteria: unix
-// beats TCP on the put round trip, and resync bytes are proportional
-// to the gap, not the context.
+// Transport v2/v3 benchmarks (EXPERIMENTS.md): the same-host transport
+// ladder (loopback TCP, unix socket, shared-memory ring), delta resync
+// (SNAPD) bytes against a full snapshot for a small gap in a large
+// context, and event latency under a concurrent bulk snapshot with and
+// without stream multiplexing. The first two back PR acceptance
+// criteria: shm beats unix beats TCP on the put round trip, and resync
+// bytes are proportional to the gap, not the context.
 
 import (
 	"context"
@@ -17,11 +17,18 @@ import (
 
 	"tdp/internal/attrspace"
 	"tdp/internal/telemetry"
+	"tdp/internal/wire"
 )
 
 func BenchmarkSameHostPut(b *testing.B) {
-	run := func(b *testing.B, dial attrspace.DialFunc) {
+	// grantShm toggles the server capability; wantShm asserts what the
+	// dialed client actually negotiated, so the sub-benchmark names stay
+	// honest (the unix row must not silently ride the ring).
+	run := func(b *testing.B, dial attrspace.DialFunc, grantShm, wantShm bool) {
 		srv := attrspace.NewServer()
+		if !grantShm {
+			srv.SetCaps(attrspace.CapsWithoutShm(srv.Caps())...)
+		}
 		addr, err := srv.ListenAndServe("127.0.0.1:0")
 		if err != nil {
 			b.Fatalf("serve: %v", err)
@@ -35,6 +42,9 @@ func BenchmarkSameHostPut(b *testing.B) {
 			b.Fatalf("dial: %v", err)
 		}
 		b.Cleanup(func() { c.Close() })
+		if c.ShmActive() != wantShm {
+			b.Fatalf("ShmActive = %v, want %v", c.ShmActive(), wantShm)
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -43,9 +53,13 @@ func BenchmarkSameHostPut(b *testing.B) {
 			}
 		}
 	}
-	b.Run("tcp", func(b *testing.B) { run(b, attrspace.TCPDial) })
-	// nil dial = AutoDial, which prefers the side socket for loopback.
-	b.Run("unix", func(b *testing.B) { run(b, nil) })
+	b.Run("tcp", func(b *testing.B) { run(b, attrspace.TCPDial, false, false) })
+	// nil dial = AutoDial, which prefers the side socket for loopback;
+	// the server withholds the shm cap so this measures the bare socket.
+	b.Run("unix", func(b *testing.B) { run(b, nil, false, false) })
+	// Full capability set: the unix bootstrap cuts over to the mmap ring
+	// pair. On platforms without shm support this degenerates to unix.
+	b.Run("shm", func(b *testing.B) { run(b, nil, true, wire.ShmSupported()) })
 }
 
 // resyncContext seeds a server with a large context and a small recent

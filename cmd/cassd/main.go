@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	cassd [-addr host:port | -addr unix:/path] [-unix]
+//	cassd [-addr host:port | -addr unix:/path] [-unix] [-shm=false]
 //	      [-loglevel debug|info|error|silent]
 //	      [-monitor 5s] [-monitor-context name] [-event-buffer n]
 //	      [-debug-addr host:port]
@@ -40,9 +40,13 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown bound: announce CLOSE to clients and finish in-flight replies for up to this long before closing (0 closes immediately)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics, and /stats.json over HTTP on this address (empty disables)")
 	shard := flag.String("shard", "", "serve as shard i of an n-way partitioned CASS (\"i/n\", 0-based); contexts hashing to other shards are refused")
+	shm := flag.Bool("shm", true, "grant the shared-memory ring transport to same-host clients (unix-socket connections upgrade to an mmap ring pair after HELLO); -shm=false keeps every client on the socket byte stream")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
+	if !*shm {
+		srv.SetCaps(attrspace.CapsWithoutShm(srv.Caps())...)
+	}
 	srv.SetLogger(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "cassd"))
 	srv.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("cassd"))
 	srv.SetEventBuffer(*eventBuf)

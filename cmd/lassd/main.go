@@ -23,7 +23,7 @@
 //
 // Usage:
 //
-//	lassd [-addr host:port | -addr unix:/path] [-unix]
+//	lassd [-addr host:port | -addr unix:/path] [-unix] [-shm=false]
 //	      [-loglevel debug|info|error|silent]
 //	      [-monitor 5s] [-monitor-context name]
 //	      [-cass host:port[,host:port...]] [-cache-max n] [-event-buffer n]
@@ -54,9 +54,13 @@ func main() {
 	eventBuf := flag.Int("event-buffer", attrspace.DefaultEventBuffer, "per-subscriber event ring size")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown bound: announce CLOSE to clients and finish in-flight replies for up to this long before closing (0 closes immediately)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, /metrics, and /stats.json over HTTP on this address (empty disables)")
+	shm := flag.Bool("shm", true, "grant the shared-memory ring transport to same-host clients (unix-socket connections upgrade to an mmap ring pair after HELLO); -shm=false keeps every client on the socket byte stream")
 	flag.Parse()
 
 	srv := attrspace.NewServer()
+	if !*shm {
+		srv.SetCaps(attrspace.CapsWithoutShm(srv.Caps())...)
+	}
 	srv.SetLogger(telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "lassd"))
 	srv.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTracer("lassd"))
 	srv.SetEventBuffer(*eventBuf)

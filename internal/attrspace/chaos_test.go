@@ -8,12 +8,14 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"tdp/internal/attr"
 	"tdp/internal/netsim"
+	"tdp/internal/wire"
 )
 
 // chaosSeed returns the fault-injection seed: fixed by default so runs
@@ -107,15 +109,26 @@ type mirror struct {
 	seqs       map[string]uint64
 	resyncs    int
 	violations []string
+	journal    []string // every event, in arrival order — dumped on failure
 }
 
 func newMirror() *mirror {
 	return &mirror{vals: make(map[string]string), seqs: make(map[string]uint64)}
 }
 
+// mirrorJournalCap bounds the event journal: long soaks stream far
+// more events than a failure dump needs, so only the recent tail is
+// kept.
+const mirrorJournalCap = 4096
+
 func (m *mirror) handle(ev Event) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if len(m.journal) >= mirrorJournalCap {
+		m.journal = append(m.journal[:0], m.journal[mirrorJournalCap/2:]...)
+	}
+	m.journal = append(m.journal,
+		fmt.Sprintf("op=%s attr=%s val=%q seq=%d resync=%v lost=%d", ev.Op, ev.Attr, ev.Value, ev.Seq, ev.Resync, ev.Lost))
 	if ev.Op == "resync" {
 		m.resyncs++
 		return
@@ -151,6 +164,13 @@ func (m *mirror) snapshot() (map[string]string, int, []string) {
 	}
 	viol := append([]string(nil), m.violations...)
 	return out, m.resyncs, viol
+}
+
+// events returns the full arrival-order journal, for failure dumps.
+func (m *mirror) events() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.journal...)
 }
 
 func sameMap(a, b map[string]string) bool {
@@ -535,5 +555,149 @@ func TestChaosShardKill(t *testing.T) {
 			}
 		}
 		sc.mu.Unlock()
+	}
+}
+
+// TestChaosShmRingKill covers fault injection on the transport-v3
+// ring. The injector interposes on the doorbell socket — the only
+// kernel object a cut-over connection still owns — so killing or
+// delaying that socket is exactly how chaos reaches a ring: CutAll
+// closes it, the doorbell reader dies, and every parked ring waiter
+// wakes with the transport error. A reconnecting Session must ride
+// through a mid-stream ring kill, re-upgrade to shm on the fresh
+// connection, resync its mirror, and keep heartbeating — all over
+// shared memory.
+func TestChaosShmRingKill(t *testing.T) {
+	if !wire.ShmSupported() {
+		t.Skip("no shm transport on this platform")
+	}
+	seed := chaosSeed(t)
+	sim := netsim.New()
+	sim.EnableSameHost(true)
+	node := sim.AddHost("node")
+	l, err := node.Listen(0)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer()
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	addr := l.Addr().String()
+
+	chaos := netsim.NewChaos(netsim.ChaosConfig{
+		Seed:         seed,
+		LatencyEvery: 3, // delay doorbell rings too, not just handshake frames
+		Latency:      time.Millisecond,
+	})
+	dial := chaos.Dial(node.Dial)
+
+	// A raw client first: the cutover must engage through both the
+	// chaos wrapper and the simulated conn (SameHost promotion).
+	c, err := Dial(dial, addr, "chaos-shm")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if !c.ShmActive() {
+		t.Fatal("shm did not engage through chaos over the simulated network")
+	}
+	if err := c.Put("pre", "1"); err != nil {
+		t.Fatalf("Put over ring: %v", err)
+	}
+	chaos.CutAll() // ring kill: doorbell socket closed under the transport
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Put("post-kill", "x"); err != nil {
+			if !IsRetryable(err) {
+				t.Fatalf("ring kill surfaced a non-retryable error: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("puts kept succeeding after the ring was killed")
+		}
+	}
+	c.Close()
+
+	// Now a Session: heartbeats, reconnect, and resync all over rings.
+	// The session phase gets its own context, pinned open server-side:
+	// CutAll severs BOTH sessions' connections at once, and without the
+	// pin the context's refcount hits zero, tdp_exit semantics destroy
+	// it, and a put acked over a draining ring legitimately evaporates
+	// with the old seq epoch — the mirror could then never converge on
+	// a state the server no longer holds.
+	keep := srv.Space().Join("chaos-shm-sess")
+	defer keep.Leave()
+	cfg := SessionConfig{
+		Dial:        dial,
+		Addr:        addr,
+		Context:     "chaos-shm-sess",
+		Backoff:     Backoff{Initial: 5 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0.5},
+		MaxAttempts: -1,
+		ConnectWait: 5 * time.Second,
+		Seed:        seed,
+		Heartbeat:   20 * time.Millisecond,
+	}
+	writer := NewSession(cfg)
+	defer writer.Close()
+	watcher := NewSession(cfg)
+	defer watcher.Close()
+	m := newMirror()
+	watcher.SetEventHandler(m.handle)
+	if err := watcher.Subscribe(); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	expected := make(map[string]string)
+	putS := func(a, v string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := writer.PutCtx(ctx, a, v); err != nil {
+			t.Fatalf("PutCtx(%s): %v", a, err)
+		}
+		expected[a] = v
+	}
+	for i := 0; i < 10; i++ {
+		putS(fmt.Sprintf("a%d", i), "before")
+	}
+	// Both sessions' live connections must be rings.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	wc, _, err := writer.client(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("writer client: %v", err)
+	}
+	if !wc.ShmActive() {
+		t.Fatal("writer session not on the ring")
+	}
+	chaos.CutAll() // kill every ring mid-session
+	for i := 0; i < 10; i++ {
+		putS(fmt.Sprintf("a%d", i), "after")
+	}
+	// The reconnected transport is a fresh ring, not a socket fallback.
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	wc2, _, err := writer.client(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("writer client after kill: %v", err)
+	}
+	if !wc2.ShmActive() {
+		t.Fatal("session reconnect did not re-upgrade to shm")
+	}
+	// Watcher converges on the post-kill state via resync over its ring.
+	convergeBy := time.Now().Add(10 * time.Second)
+	for {
+		got, _, _ := m.snapshot()
+		if sameMap(got, expected) {
+			break
+		}
+		if time.Now().After(convergeBy) {
+			got, _, _ := m.snapshot()
+			t.Fatalf("mirror never converged over rings:\n mirror: %v\n expected: %v\n journal:\n  %s",
+				got, expected, strings.Join(m.events(), "\n  "))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if reconnects, _, _ := writer.Stats(); reconnects == 0 {
+		t.Error("writer session reports no reconnects after a ring kill")
 	}
 }

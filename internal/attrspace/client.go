@@ -45,9 +45,11 @@ type DialFunc func(addr string) (net.Conn, error)
 // endpoints; pass TCPDial explicitly to force TCP.
 func TCPDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 
-// clientCaps are the transport-v2 capabilities this client offers in
-// HELLO; the server grants the intersection with its own.
-var clientCaps = []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing}
+// clientCaps are the transport capabilities this client offers in
+// HELLO; the server grants the intersection with its own. CapShm is
+// offered separately, only when the dialed connection is provably
+// same-host (see dialWithCaps).
+var clientCaps = []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing, wire.CapByteWin}
 
 // Event is a pushed attribute change received after Subscribe.
 type Event struct {
@@ -99,6 +101,16 @@ type Client struct {
 	mux    *wire.Mux
 	chunks map[string][]*wire.Message
 
+	// Transport v3 cutover state. shmSwapID names the in-flight SHMRDY
+	// request: when its reply arrives, the read loop activates the ring
+	// endpoint and swaps the conn's read side onto it BEFORE delivering
+	// the reply — the very next frame already arrives over shared
+	// memory. Registered under mu by the same send that registers the
+	// pending-reply slot, so the reply can never race the registration.
+	shmSwapID string
+	shmSwapEP *wire.ShmEndpoint
+	shmActive bool
+
 	// Async-put coalescing state: queued puts accumulate in putq while
 	// a flush is in flight and leave as one MPUT. noMPUT flips on when
 	// the server answers MPUT with an unknown-verb error (an older
@@ -144,6 +156,13 @@ func dialWithCaps(ctx context.Context, dial DialFunc, addr, contextName string, 
 	if err != nil {
 		return nil, fmt.Errorf("attrspace: dial %s: %w", addr, err)
 	}
+	// The shm transport is only meaningful (and only safe — both ends
+	// must reach the same segment file) across a provably same-host
+	// connection, so the capability is offered per connection rather
+	// than unconditionally.
+	if wire.ShmSupported() && sameHostConn(raw) {
+		caps = append(append([]string(nil), caps...), wire.CapShm)
+	}
 	c := &Client{
 		wc:      wire.NewConn(raw),
 		raw:     raw,
@@ -184,11 +203,70 @@ func dialWithCaps(ctx context.Context, dial DialFunc, addr, contextName string, 
 		c.mu.Lock()
 		c.caps = set
 		if set[wire.CapMux] {
-			c.mux = wire.NewMux(c.wc, wire.MuxConfig{Registry: c.reg})
+			c.mux = wire.NewMux(c.wc, wire.MuxConfig{Registry: c.reg, ByteWindow: set[wire.CapByteWin]})
 		}
 		c.mu.Unlock()
+		if set[wire.CapShm] {
+			// Best effort: a failed cutover leaves the connection on the
+			// socket exactly as a v2 peer — the server cleans the segment
+			// file at connection teardown.
+			c.upgradeShm(reply.Get("shmfile"))
+		}
 	}
 	return c, nil
+}
+
+// upgradeShm performs the client half of the transport-v3 cutover: map
+// the segment the server created, announce readiness with SHMRDY (the
+// last framed bytes this client ever writes to the socket), and swap
+// the conn's write side onto the ring once the server's OK lands. The
+// read-side swap happens inside the read loop (see readLoop), which is
+// the only place that knows no framed socket byte follows the OK.
+// Failing anywhere before SHMRDY just leaves the connection on the
+// socket; the server only cuts over when SHMRDY arrives.
+func (c *Client) upgradeShm(path string) {
+	if path == "" {
+		return
+	}
+	seg, err := wire.OpenShmSegment(path)
+	if err != nil {
+		return
+	}
+	ep := seg.Endpoint(false, c.raw)
+	ch, _, err := c.sendHook(wire.NewMessage("SHMRDY"), func(id string) {
+		c.shmSwapID, c.shmSwapEP = id, ep
+	})
+	if err != nil {
+		return
+	}
+	// Safe to block: dialWithCaps still owns the client — no Session
+	// heartbeats, subscriptions, or user requests exist yet, so nothing
+	// else can write to the socket behind SHMRDY, and the only traffic
+	// the read loop can see before this reply is the reply itself (a
+	// conn failure delivers a synthetic ERROR here instead).
+	reply := <-ch
+	if reply.Verb != "OK" {
+		c.mu.Lock()
+		c.shmSwapID, c.shmSwapEP = "", nil
+		c.mu.Unlock()
+		return
+	}
+	// The read loop has already activated the doorbell and swapped the
+	// read side (before delivering the OK). Swapping the write side
+	// completes the cutover; the request that follows is the first
+	// frame through the ring.
+	c.wc.SwapWrite(ep)
+	c.mu.Lock()
+	c.shmActive = true
+	c.mu.Unlock()
+}
+
+// ShmActive reports whether this connection completed the transport-v3
+// cutover and is carrying its frames over the shared-memory ring.
+func (c *Client) ShmActive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shmActive
 }
 
 // muxer returns the connection's stream mux, nil on a v1 connection.
@@ -292,8 +370,22 @@ func (c *Client) readLoop() {
 		if ch == nil {
 			delete(c.chunks, id)
 		}
+		var swapEP *wire.ShmEndpoint
+		if id != "" && id == c.shmSwapID && m.Verb == "OK" {
+			swapEP, c.shmSwapID, c.shmSwapEP = c.shmSwapEP, "", nil
+		}
 		drained := c.draining && len(c.pending) == 0
 		c.mu.Unlock()
+		if swapEP != nil {
+			// Transport-v3 cutover: this OK answers our SHMRDY and is the
+			// last framed byte the socket will ever carry — the server
+			// swapped its write side right after sending it. Hand the
+			// socket to the doorbell and read everything further from the
+			// ring, before the waiter sees the reply (so its first request
+			// cannot outrun the swap).
+			swapEP.Activate()
+			c.wc.SwapRead(swapEP)
+		}
 		if ch != nil {
 			ch <- m
 		}
@@ -464,6 +556,16 @@ func (c *Client) call(ctx context.Context, verb string, m *wire.Message) (*wire.
 // while its read half blocks would otherwise strand every other
 // pending reply forever. fail drains them all exactly once.
 func (c *Client) send(m *wire.Message) (chan *wire.Message, string, error) {
+	return c.sendHook(m, nil)
+}
+
+// sendHook is send with an optional hook invoked under mu right after
+// the pending-reply slot is registered — atomically with it, from the
+// read loop's point of view. The transport-v3 cutover uses it to
+// register the SHMRDY swap state: registering after send returned
+// would let the reply arrive first and the read-side swap never
+// happen.
+func (c *Client) sendHook(m *wire.Message, hook func(id string)) (chan *wire.Message, string, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
@@ -481,6 +583,9 @@ func (c *Client) send(m *wire.Message) (chan *wire.Message, string, error) {
 	id := strconv.FormatUint(c.nextID, 10)
 	ch := make(chan *wire.Message, 1)
 	c.pending[id] = ch
+	if hook != nil {
+		hook(id)
+	}
 	x := c.mux
 	c.mu.Unlock()
 	m.Set("id", id)

@@ -90,9 +90,11 @@ var serverVerbs = []string{"hello", "put", "mput", "get", "tryget", "delete", "s
 	"stats", "ping", "gput", "gmput", "gget", "gtryget", "gdel", "gsnap", "gsnapm", "gctxs",
 	"cput", "cmput", "cget", "cdel", "csnap", "cctxs"}
 
-// defaultServerCaps are the transport-v2 capabilities a server grants
-// when the client offers them; see Server.SetCaps.
-var defaultServerCaps = []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing, wire.CapCtxOp}
+// defaultServerCaps are the transport capabilities a server grants
+// when the client offers them; see Server.SetCaps. CapShm is listed
+// but additionally gated per connection: it is only granted across a
+// provably same-host transport (see the HELLO handler).
+var defaultServerCaps = []string{wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing, wire.CapCtxOp, wire.CapByteWin, wire.CapShm}
 
 // verbMetrics caches one verb's hot-path metric handles.
 type verbMetrics struct {
@@ -205,6 +207,26 @@ func (s *Server) SetCaps(caps ...string) {
 
 // Caps returns the capability set granted on HELLO.
 func (s *Server) Caps() []string { return *s.caps.Load() }
+
+// CapsWithoutShm returns caps minus the shared-memory transport
+// capability — the -shm=false path of lassd/cassd, which keeps every
+// client on the socket byte stream while leaving the rest of the v2/v3
+// capability set intact.
+func CapsWithoutShm(caps []string) []string {
+	return withoutCap(caps, wire.CapShm)
+}
+
+// withoutCap returns caps minus the named capability (a copy; the
+// input — often the server's live set — is never mutated).
+func withoutCap(caps []string, name string) []string {
+	out := make([]string, 0, len(caps))
+	for _, c := range caps {
+		if c != name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
 
 func (s *Server) capEnabled(name string) bool {
 	for _, c := range *s.caps.Load() {
@@ -550,6 +572,16 @@ type serverConn struct {
 	sub  *attr.Subscription
 	caps map[string]bool // capabilities granted on HELLO; nil = v1 peer
 	mux  *wire.Mux       // non-nil once CapMux granted
+
+	// Transport-v3 cutover state: the segment created at HELLO (and its
+	// file, removed once the client maps it — or at teardown if the
+	// client never does), and the ring endpoint handed from the SHMRDY
+	// handler to the read loop, which swaps its read side after the
+	// dispatch returns (the client's SHMRDY was its last framed socket
+	// write).
+	shmSeg  *wire.ShmSegment
+	shmPath string
+	shmEP   *wire.ShmEndpoint
 }
 
 // muxer returns the connection's mux, or nil before CapMux was granted.
@@ -575,6 +607,8 @@ func (c *serverConn) run() {
 		c.mu.Lock()
 		ref, sub := c.ref, c.sub
 		c.ref, c.sub = nil, nil
+		shmPath := c.shmPath
+		c.shmPath = ""
 		c.mu.Unlock()
 		if sub != nil && ref != nil {
 			ref.Unsubscribe(sub)
@@ -582,6 +616,14 @@ func (c *serverConn) run() {
 		if ref != nil {
 			ref.Leave()
 		}
+		if shmPath != "" {
+			// Granted shm at HELLO but the client never sent SHMRDY: the
+			// segment file is still on disk. (After a completed cutover
+			// the SHMRDY handler already unlinked it.)
+			os.Remove(shmPath)
+		}
+		// Closing the socket also kills the doorbell after a cutover,
+		// which wakes anything parked on the ring.
 		c.raw.Close()
 	}()
 
@@ -612,6 +654,19 @@ func (c *serverConn) run() {
 		if exit {
 			return
 		}
+		c.mu.Lock()
+		ep := c.shmEP
+		c.shmEP = nil
+		c.mu.Unlock()
+		if ep != nil {
+			// The dispatch we just returned from was SHMRDY: the client's
+			// request was its last framed socket write and our OK was
+			// ours, so the socket now belongs to the doorbell and every
+			// further frame — starting with the next RecvInto — rides the
+			// ring.
+			ep.Activate()
+			c.wc.SwapRead(ep)
+		}
 	}
 }
 
@@ -633,15 +688,43 @@ func (c *serverConn) dispatch(ctx context.Context, m *wire.Message) bool {
 		// client offered and what this server speaks. A v1 client sends
 		// no caps field and gets none back; a v1 server ignores the
 		// field entirely — either way both ends stay on v1 behavior.
-		granted := wire.IntersectCaps(m.Get("caps"), srv.Caps())
+		// CapShm is further gated on the transport itself: it is only
+		// honest across a same-host connection this build can mmap on,
+		// so anywhere else it is stripped from the supported set before
+		// the intersection — the client sees a plain v2 grant.
+		supported := srv.Caps()
+		if !wire.ShmSupported() || !sameHostConn(c.raw) {
+			supported = withoutCap(supported, wire.CapShm)
+		}
+		granted := wire.IntersectCaps(m.Get("caps"), supported)
 		c.mu.Lock()
 		already := c.ref != nil
+		var shmPath string
 		if !already {
 			c.ref = srv.space.Join(name)
 			if granted != "" {
 				c.caps = wire.ParseCaps(granted)
+				if c.caps[wire.CapShm] {
+					// Create the segment now so its path rides the OK. A
+					// creation failure (full temp dir, exotic fs) quietly
+					// withdraws the grant — the client falls back to the
+					// socket like any v2 peer.
+					shmPath = shmSegmentPath()
+					if seg, err := wire.CreateShmSegment(shmPath, 0); err == nil {
+						c.shmSeg, c.shmPath = seg, shmPath
+					} else {
+						srv.log().Debugf("attrspace: shm segment create: %v", err)
+						delete(c.caps, wire.CapShm)
+						supported = withoutCap(supported, wire.CapShm)
+						granted = wire.IntersectCaps(granted, supported)
+						shmPath = ""
+					}
+				}
 				if c.caps[wire.CapMux] {
-					c.mux = wire.NewMux(c.wc, wire.MuxConfig{Registry: srv.tel.Load().reg})
+					c.mux = wire.NewMux(c.wc, wire.MuxConfig{
+						Registry:   srv.tel.Load().reg,
+						ByteWindow: c.caps[wire.CapByteWin],
+					})
 				}
 			}
 		}
@@ -655,8 +738,37 @@ func (c *serverConn) dispatch(ctx context.Context, m *wire.Message) bool {
 		if granted != "" {
 			ok.Set("caps", granted)
 		}
+		if shmPath != "" {
+			ok.Set("shmfile", shmPath)
+		}
 		c.reply(ok)
 		done()
+	case "SHMRDY":
+		// Transport-v3 cutover request: the client has mapped the
+		// segment announced at HELLO and this frame is the last framed
+		// byte it will ever write to the socket. Reply OK (our own last
+		// framed socket write), swap the write side onto the ring, and
+		// hand the endpoint to the read loop, which swaps its read side
+		// before the next RecvInto. The segment file is no longer
+		// needed once both ends hold mappings, so unlink it here.
+		c.mu.Lock()
+		seg := c.shmSeg
+		c.mu.Unlock()
+		if seg == nil {
+			c.unknownVerb(m) // no shm grant on this connection
+			return false
+		}
+		ep := seg.Endpoint(true, c.raw)
+		c.reply(wire.NewMessage("OK").Set("id", m.Get("id")))
+		c.wc.SwapWrite(ep)
+		c.mu.Lock()
+		c.shmEP = ep
+		c.shmSeg = nil // a second SHMRDY is an unknown verb, not a re-swap
+		if c.shmPath != "" {
+			os.Remove(c.shmPath)
+			c.shmPath = ""
+		}
+		c.mu.Unlock()
 	case "EXIT":
 		return true
 	case "PING":

@@ -400,9 +400,13 @@ func (s *Session) install(c *Client) bool {
 	s.emitMu.Lock()
 	preSeq := s.ctxSeq
 	s.emitMu.Unlock()
+	var gate *evGate
 	if subbed {
 		// Handler before SUB: no pushed event can slip past delivery.
-		c.SetEventHandler(func(ev Event) { s.deliver(ev) })
+		// The gate holds live events back until the resync below has
+		// re-established the seq epoch (see evGate).
+		gate = &evGate{s: s}
+		c.SetEventHandler(gate.handle)
 		if err := c.Subscribe(); err != nil {
 			c.Close()
 			return false
@@ -438,8 +442,14 @@ func (s *Session) install(c *Client) bool {
 	}
 	if subbed {
 		// SUB is live on the new connection; diff a versioned snapshot
-		// against what consumers have already seen and replay the gap.
+		// against what consumers have already seen and replay the gap,
+		// then release the live events the gate held back across the
+		// fetch. Released even when the resync itself failed: in the
+		// common same-epoch case the held events are fine as-is, and in
+		// the epoch-restart case the failed client re-enters the
+		// reconnect loop and the next install resyncs again.
 		s.resync(c, preSeq)
+		gate.release()
 	}
 	return true
 }
@@ -537,6 +547,51 @@ func (s *Session) noteSeq(seq uint64) {
 
 // ---------------------------------------------------------------------------
 // Event stream: live delivery, loss, and resync.
+
+// evGate holds one connection's live events back until the
+// post-reconnect resync has re-established the seq epoch. Between SUB
+// going live and the resync snapshot being applied, deliver would judge
+// incoming events against the *previous* connection's per-attribute seq
+// marks. Usually that is exactly right — such events are replays or
+// fresh writes with higher seqs — but when the context was destroyed
+// and recreated while the session was away, the new epoch's seqs
+// restart from 1: every live event compares stale against the old
+// marks, and the resync snapshot (fetched at a moment that predates
+// them) cannot replay them either, so real writes would be dropped for
+// good. Holding delivery until resync has run lets applyFullResync
+// detect the epoch restart (ctxSeq < preSeq) and reset the marks first;
+// the held events then replay against the correct epoch. The buffer is
+// bounded in practice by the resync RPC duration (cfg.DialTimeout).
+type evGate struct {
+	s    *Session
+	mu   sync.Mutex
+	open bool
+	pend []Event
+}
+
+func (g *evGate) handle(ev Event) {
+	g.mu.Lock()
+	if !g.open {
+		g.pend = append(g.pend, ev)
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	g.s.deliver(ev)
+}
+
+// release flushes the held events in arrival order and switches the
+// gate to pass-through. The mutex is held across the flush so an event
+// arriving concurrently cannot overtake the backlog.
+func (g *evGate) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.open = true
+	for _, ev := range g.pend {
+		g.s.deliver(ev)
+	}
+	g.pend = nil
+}
 
 // deliver forwards one server-pushed event downstream, holding the
 // per-attribute monotonic-seq invariant across reconnects: an event

@@ -411,3 +411,54 @@ func TestSessionRidesThroughDrain(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionGateEpochRestart pins down why install() gates event
+// delivery until the resync has run. A context destroyed and recreated
+// while the session was away restarts its seqs from 1; a live event
+// from the new epoch that lands between SUB and the resync snapshot
+// would be judged against the previous epoch's per-attribute marks and
+// silently dropped — and since the snapshot was fetched before that
+// write, nothing ever replays it. The gate holds such events until
+// applyFullResync has detected the epoch restart and reset the marks.
+func TestSessionGateEpochRestart(t *testing.T) {
+	s := NewSession(SessionConfig{
+		Dial: func(addr string) (net.Conn, error) {
+			return nil, errors.New("no server in this test")
+		},
+		Addr:        "nowhere",
+		Context:     "gate",
+		Backoff:     Backoff{Initial: time.Hour, Max: time.Hour, Factor: 1},
+		MaxAttempts: -1,
+	})
+	defer s.Close()
+	m := newMirror()
+	s.SetEventHandler(m.handle)
+
+	// Epoch A, delivered live on the first connection.
+	for i, a := range []string{"x", "y", "z"} {
+		s.deliver(Event{Attr: a, Value: "old", Op: "put", Seq: uint64(i + 1)})
+	}
+
+	// Reconnect: install() captures the epoch baseline, subscribes on
+	// the new connection, and gates its handler.
+	s.emitMu.Lock()
+	preSeq := s.ctxSeq
+	s.emitMu.Unlock()
+	gate := &evGate{s: s}
+
+	// The recreated context restarted seqs: a live event for y (seq 2
+	// in the new epoch, stale against epoch A's mark y=2) arrives while
+	// the resync RPC is still in flight.
+	gate.handle(Event{Attr: "y", Value: "new", Op: "put", Seq: 2})
+
+	// The resync snapshot predates y's write: only x, at ctxSeq 1 <
+	// preSeq — an epoch restart. applyFullResync resets the marks.
+	s.applyFullResync(map[string]Versioned{"x": {Value: "new", Seq: 1}}, 1, preSeq)
+	gate.release()
+
+	got, _, _ := m.snapshot()
+	want := map[string]string{"x": "new", "y": "new"}
+	if !sameMap(got, want) {
+		t.Fatalf("mirror after epoch restart = %v, want %v", got, want)
+	}
+}

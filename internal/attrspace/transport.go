@@ -1,10 +1,14 @@
 package attrspace
 
 import (
+	"errors"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 )
 
 // This file holds the same-host fast path: LASS/CASS daemons listen on
@@ -13,6 +17,10 @@ import (
 // local. The dominant TDP hop — AP or paradynd talking to the LASS on
 // the same execution host — then skips the TCP stack entirely while
 // remote clients keep using TCP, with no configuration on either side.
+// On top of the socket, transport v3 (wire.CapShm) negotiates a
+// shared-memory ring pair per connection: the segment file lives
+// beside the sockets in the temp directory, travels in the HELLO
+// reply, and is unlinked as soon as both ends have mapped it.
 
 // SocketPathFor derives the conventional unix socket path paired with
 // a TCP listen address: tdp-attr-<port>.sock in the system temp
@@ -25,6 +33,36 @@ func SocketPathFor(tcpAddr string) string {
 		return ""
 	}
 	return filepath.Join(os.TempDir(), "tdp-attr-"+port+".sock")
+}
+
+// shmSegSeq makes segment paths unique within one server process.
+var shmSegSeq atomic.Uint64
+
+// shmSegmentPath returns a fresh path for a transport-v3 segment file,
+// beside the unix sockets in the system temp directory (the
+// SocketPathFor convention). Uniqueness needs only pid + sequence: the
+// file exists just for the window between HELLO and the client mapping
+// it, after which the server unlinks it and the mappings alone keep
+// the pages alive.
+func shmSegmentPath() string {
+	return filepath.Join(os.TempDir(),
+		fmt.Sprintf("tdp-shm-%d-%d.seg", os.Getpid(), shmSegSeq.Add(1)))
+}
+
+// sameHostConn reports whether conn provably joins two endpoints on
+// the same machine: a unix-domain socket, or a connection that itself
+// vouches through a SameHost method (netsim's conns when same-host
+// modelling is enabled). Only such connections are eligible for the
+// shared-memory transport — the segment file is reachable by both
+// ends exactly when this holds.
+func sameHostConn(conn net.Conn) bool {
+	if addr := conn.RemoteAddr(); addr != nil && addr.Network() == "unix" {
+		return true
+	}
+	if sh, ok := conn.(interface{ SameHost() bool }); ok {
+		return sh.SameHost()
+	}
+	return false
 }
 
 // isLoopbackHost reports whether a dial-address host names this
@@ -42,15 +80,25 @@ func isLoopbackHost(host string) bool {
 // AutoDial is the default DialFunc: "unix:/path" dials that socket
 // directly; a loopback TCP address first tries the conventional
 // same-host socket (SocketPathFor) and falls back to TCP when no local
-// daemon is listening there. Non-loopback addresses always use TCP.
+// daemon is listening there — including when a stale socket file from
+// a crashed daemon still sits at the path (connection refused), in
+// which case the dead file is also removed so later dials skip
+// straight to TCP. Non-loopback addresses always use TCP.
 func AutoDial(addr string) (net.Conn, error) {
 	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
 		return net.Dial("unix", path)
 	}
 	if host, _, err := net.SplitHostPort(addr); err == nil && isLoopbackHost(host) {
 		if path := SocketPathFor(addr); path != "" {
-			if conn, err := net.Dial("unix", path); err == nil {
+			conn, err := net.Dial("unix", path)
+			if err == nil {
 				return conn, nil
+			}
+			if errors.Is(err, syscall.ECONNREFUSED) {
+				// The file exists but nothing accepts on it: a leftover
+				// from a crashed daemon. Clear it; best effort — failure
+				// just means the next dial probes it again.
+				os.Remove(path)
 			}
 		}
 	}

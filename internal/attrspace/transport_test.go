@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -422,5 +423,232 @@ func TestServerMutationsFeedChangeLog(t *testing.T) {
 	last := changes[len(changes)-1]
 	if last.Attr != "a" || !last.Delete {
 		t.Errorf("last change = %+v, want delete of a", last)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Transport v3: the shared-memory ring cutover.
+
+// TestShmCutoverOverUnixSocket is the happy path: a client dialing the
+// unix socket negotiates shm, completes the cutover, and every kind of
+// traffic — purs, batches, chunked snapshots, events, pings — rides
+// the ring.
+func TestShmCutoverOverUnixSocket(t *testing.T) {
+	if !wire.ShmSupported() {
+		t.Skip("no shm transport on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "tdp.sock")
+	srv := NewServer()
+	bound, err := srv.ListenAndServe("unix:" + path)
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialT(t, bound, "job1")
+	if !c.HasCap(wire.CapShm) {
+		t.Fatal("CapShm not granted over a unix socket")
+	}
+	if !c.HasCap(wire.CapByteWin) {
+		t.Fatal("CapByteWin not granted")
+	}
+	if !c.ShmActive() {
+		t.Fatal("shm cutover did not complete")
+	}
+
+	if err := c.Put("pid", "42"); err != nil {
+		t.Fatalf("Put over ring: %v", err)
+	}
+	if v, err := c.TryGet("pid"); err != nil || v != "42" {
+		t.Fatalf("TryGet over ring = %q, %v", v, err)
+	}
+	// A chunked snapshot (multi-part bulk reply) across the ring.
+	var pairs []KV
+	for i := 0; i < SnapChunkEntries+17; i++ {
+		pairs = append(pairs, KV{Key: fmt.Sprintf("attr%04d", i), Value: "v"})
+	}
+	if err := c.PutBatch(pairs); err != nil {
+		t.Fatalf("PutBatch over ring: %v", err)
+	}
+	snap, _, err := c.SnapshotSeq(context.Background())
+	if err != nil {
+		t.Fatalf("SnapshotSeq over ring: %v", err)
+	}
+	if len(snap) != len(pairs)+1 { // + pid
+		t.Fatalf("snapshot = %d entries, want %d", len(snap), len(pairs)+1)
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping over ring: %v", err)
+	}
+
+	// Event fan-out: a second ring connection watches the first's puts.
+	watcher := dialT(t, bound, "job1")
+	if !watcher.ShmActive() {
+		t.Fatal("second connection did not cut over")
+	}
+	var events atomic.Int64
+	watcher.SetEventHandler(func(Event) { events.Add(1) })
+	if err := watcher.Subscribe(); err != nil {
+		t.Fatalf("Subscribe over ring: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.Put(fmt.Sprintf("ev%02d", i), "x"); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for events.Load() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := events.Load(); got < 50 {
+		t.Fatalf("watcher saw %d ring events, want 50", got)
+	}
+	// The segment file must be gone: unlinked right after the cutover.
+	segs, _ := filepath.Glob(filepath.Join(t.TempDir(), "tdp-shm-*"))
+	if len(segs) != 0 {
+		t.Errorf("segment files leaked in test dir: %v", segs)
+	}
+}
+
+// TestShmWithdrawnByServer: a server configured without CapShm leaves
+// a shm-offering client on the plain v2 socket path.
+func TestShmWithdrawnByServer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdp.sock")
+	srv := NewServer()
+	srv.SetCaps(wire.CapMux, wire.CapSnapd, wire.CapChunk, wire.CapPing, wire.CapCtxOp, wire.CapByteWin)
+	bound, err := srv.ListenAndServe("unix:" + path)
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialT(t, bound, "job1")
+	if c.HasCap(wire.CapShm) || c.ShmActive() {
+		t.Fatal("shm engaged against a server that does not speak it")
+	}
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("Put on the v2 fallback: %v", err)
+	}
+}
+
+// TestShmNotOfferedOverTCP: a TCP connection — even to localhost — is
+// not provably same-host at the transport level, so the capability is
+// never offered and never granted.
+func TestShmNotOfferedOverTCP(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(TCPDial, addr, "job1")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if c.HasCap(wire.CapShm) || c.ShmActive() {
+		t.Fatal("shm engaged over TCP")
+	}
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+}
+
+// TestShmFallbackWhenSegmentUnmappable: a server that grants shm but
+// hands out a segment path the client cannot map (gone, truncated,
+// wrong fs) must quietly end up on the plain socket path — the client
+// simply never sends SHMRDY. Driven with a scripted server so the
+// failure can be injected.
+func TestShmFallbackWhenSegmentUnmappable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fake.sock")
+	l, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		wc := wire.NewConn(conn)
+		m, err := wc.Recv()
+		if err != nil || m.Verb != "HELLO" {
+			srvErr <- fmt.Errorf("first frame = %v, %v", m, err)
+			return
+		}
+		// Grant shm with a segment path that does not exist.
+		if err := wc.Send(wire.NewMessage("OK").Set("id", m.Get("id")).
+			Set("caps", "mux,snapd,chunk,ping,bytewin,shm").
+			Set("shmfile", filepath.Join(t.TempDir(), "no-such-segment"))); err != nil {
+			srvErr <- err
+			return
+		}
+		// The client must carry on over the socket: the next frame is a
+		// regular request, not SHMRDY.
+		m, err = wc.Recv()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		if m.Verb == "SHMRDY" {
+			srvErr <- fmt.Errorf("client sent SHMRDY for an unmappable segment")
+			return
+		}
+		if m.Verb != "PING" {
+			srvErr <- fmt.Errorf("unexpected frame %v", m)
+			return
+		}
+		srvErr <- wc.Send(wire.NewMessage("PONG").Set("id", m.Get("id")))
+	}()
+
+	c, err := Dial(nil, "unix:"+path, "job1")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if c.ShmActive() {
+		t.Fatal("ShmActive over an unmappable segment")
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping on the socket fallback: %v", err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("scripted server: %v", err)
+	}
+}
+
+// TestAutoDialRemovesStaleSocket is the satellite regression test: a
+// leftover socket file from a crashed daemon (exists, but connection
+// refused) must not wedge AutoDial — it falls through to TCP and
+// clears the dead file so later dials go straight there.
+func TestAutoDialRemovesStaleSocket(t *testing.T) {
+	srv, addr := startServer(t) // TCP only
+	_ = srv
+	path := SocketPathFor(addr)
+	if path == "" {
+		t.Fatal("no conventional socket path for test address")
+	}
+	ul, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatalf("staging stale socket: %v", err)
+	}
+	// Close WITHOUT unlinking: exactly the state a crashed daemon
+	// leaves behind.
+	ul.(*net.UnixListener).SetUnlinkOnClose(false)
+	ul.Close()
+	t.Cleanup(func() { os.Remove(path) })
+
+	conn, err := AutoDial(addr)
+	if err != nil {
+		t.Fatalf("AutoDial with stale socket present: %v", err)
+	}
+	defer conn.Close()
+	if got := conn.RemoteAddr().Network(); got != "tcp" {
+		t.Fatalf("AutoDial network = %s, want tcp fallthrough", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("stale socket file not removed (stat err = %v)", err)
+	}
+	// And the whole client stack works through the fallback.
+	c := dialT(t, addr, "job1")
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("Put after stale-socket fallback: %v", err)
 	}
 }

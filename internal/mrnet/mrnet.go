@@ -237,10 +237,14 @@ func (n *Node) connectUpstream(resume bool) error {
 		Set("executable", fmt.Sprintf("aggregate(%d children)", children)).
 		SetInt("pid", 0).
 		SetInt("rank", 0).
-		// Offer the transport-v2 mux and batched flushes. A parent node
-		// acks with OK caps=mux,tbatch and the uplink upgrades; the real
-		// front-end ignores the field and everything stays v1.
-		Set("caps", wire.CapMux+","+wire.CapTBatch)
+		// Offer the transport-v2 mux, batched flushes, and byte-granular
+		// windows. A parent node acks with OK caps=mux,tbatch,bytewin
+		// and the uplink upgrades; the real front-end ignores the field
+		// and everything stays v1. (The shm cap is not offered here:
+		// tree links cross hosts by construction, and a co-located
+		// daemon's attribute traffic already rides the attrspace
+		// clients, which negotiate shm on their own.)
+		Set("caps", wire.CapMux+","+wire.CapTBatch+","+wire.CapByteWin)
 	if resume {
 		reg.Set("resume", "1")
 	}
@@ -294,7 +298,7 @@ func (n *Node) connectUpstream(resume bool) error {
 				n.mu.Lock()
 				if n.up == up {
 					if caps[wire.CapMux] && n.upMux == nil {
-						n.upMux = wire.NewMux(up, wire.MuxConfig{Registry: n.reg})
+						n.upMux = wire.NewMux(up, wire.MuxConfig{Registry: n.reg, ByteWindow: caps[wire.CapByteWin]})
 					}
 					if caps[wire.CapTBatch] {
 						n.upBatch = true
@@ -468,8 +472,14 @@ func (n *Node) handleChild(raw net.Conn) {
 	childCaps := wire.ParseCaps(first.Get("caps"))
 	var granted []string
 	if childCaps[wire.CapMux] {
-		cm = wire.NewMux(wc, wire.MuxConfig{Registry: n.reg})
+		// Byte-granular windows when the child offers them: a sample
+		// burst is then bounded in bytes, so one fat TBATCH cannot eat
+		// the same window as dozens of small flushes.
+		cm = wire.NewMux(wc, wire.MuxConfig{Registry: n.reg, ByteWindow: childCaps[wire.CapByteWin]})
 		granted = append(granted, wire.CapMux)
+		if childCaps[wire.CapByteWin] {
+			granted = append(granted, wire.CapByteWin)
+		}
 	}
 	if childCaps[wire.CapTBatch] {
 		granted = append(granted, wire.CapTBatch)

@@ -220,6 +220,17 @@ func (cc *chaosConn) Close() error {
 	return cc.Conn.Close()
 }
 
+// SameHost delegates to the wrapped connection so the shared-memory
+// transport can still engage (and then be chaos-killed) through the
+// injector. Struct embedding does not promote methods through the
+// net.Conn interface, so the probe is explicit.
+func (cc *chaosConn) SameHost() bool {
+	if sh, ok := cc.Conn.(interface{ SameHost() bool }); ok {
+		return sh.SameHost()
+	}
+	return false
+}
+
 // RefuseListener wraps l so the first n accepted connections are
 // closed immediately — a daemon that is up but resetting clients
 // (mid-restart, backlogged, or crashing on accept) before it settles.

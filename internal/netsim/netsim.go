@@ -64,12 +64,13 @@ func SplitAddr(addr string) (host string, port int, err error) {
 
 // Network is the simulated fabric: a set of hosts plus firewall rules.
 type Network struct {
-	mu      sync.Mutex
-	hosts   map[string]*Host
-	rules   []Rule
-	latency time.Duration
-	dials   int // statistics: total successful dials
-	blocked int // statistics: dials rejected by rules
+	mu       sync.Mutex
+	hosts    map[string]*Host
+	rules    []Rule
+	latency  time.Duration
+	samehost bool // same-host dials advertise SameHost() (shm eligibility)
+	dials    int  // statistics: total successful dials
+	blocked  int  // statistics: dials rejected by rules
 }
 
 // New returns an empty network.
@@ -84,6 +85,19 @@ func (n *Network) SetLatency(d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.latency = d
+}
+
+// EnableSameHost turns on same-host modelling: a dial whose source and
+// destination are the same named host yields connections that report
+// SameHost() == true, which makes them eligible for the shared-memory
+// transport (the attrspace servers probe exactly that method). Off by
+// default on purpose — a pool-scale scenario with thousands of
+// simulated hosts must not create a real mmap segment per co-located
+// connection unless the test asks for it.
+func (n *Network) EnableSameHost(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.samehost = on
 }
 
 // AddRule appends a firewall rule. All rules must pass for a dial to
@@ -215,6 +229,7 @@ func (h *Host) Dial(addr string) (net.Conn, error) {
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
 	latency := n.latency
+	samehost := n.samehost && h.name == toHost
 	n.dials++
 	n.mu.Unlock()
 
@@ -222,8 +237,8 @@ func (h *Host) Dial(addr string) (net.Conn, error) {
 		time.Sleep(latency)
 	}
 	client, server := net.Pipe()
-	cc := &conn{Conn: client, local: Addr{Host: h.name, Port: -1}, remote: l.addr}
-	sc := &conn{Conn: server, local: l.addr, remote: Addr{Host: h.name, Port: -1}}
+	cc := &conn{Conn: client, local: Addr{Host: h.name, Port: -1}, remote: l.addr, samehost: samehost}
+	sc := &conn{Conn: server, local: l.addr, remote: Addr{Host: h.name, Port: -1}, samehost: samehost}
 	select {
 	case l.accept <- sc:
 		return cc, nil
@@ -272,7 +287,14 @@ func (l *Listener) Addr() net.Addr { return l.addr }
 type conn struct {
 	net.Conn
 	local, remote Addr
+	samehost      bool
 }
 
 func (c *conn) LocalAddr() net.Addr  { return c.local }
 func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+// SameHost reports whether both ends of this connection live on the
+// same simulated host AND the network has same-host modelling enabled
+// — the opt-in that lets the shared-memory transport engage over the
+// simulated fabric (chaos tests interpose on its doorbell socket).
+func (c *conn) SameHost() bool { return c.samehost }

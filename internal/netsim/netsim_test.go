@@ -362,3 +362,58 @@ func TestSplitAddr(t *testing.T) {
 		t.Error("SplitAddr(bad) succeeded")
 	}
 }
+
+func TestSameHostModelling(t *testing.T) {
+	type sameHoster interface{ SameHost() bool }
+	probe := func(n *Network, from, addr string) bool {
+		c, err := n.Host(from).Dial(addr)
+		if err != nil {
+			t.Fatalf("dial %s -> %s: %v", from, addr, err)
+		}
+		defer c.Close()
+		return c.(sameHoster).SameHost()
+	}
+
+	n := New()
+	a, b := n.AddHost("a"), n.AddHost("b")
+	la, err := a.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer la.Close()
+	lb, err := b.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	go func() {
+		for {
+			c, err := la.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	go func() {
+		for {
+			c, err := lb.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	// Off by default: even a loopback dial must not claim same-host.
+	if probe(n, "a", la.Addr().String()) {
+		t.Error("SameHost true with modelling disabled")
+	}
+	n.EnableSameHost(true)
+	if !probe(n, "a", la.Addr().String()) {
+		t.Error("SameHost false for a loopback dial with modelling enabled")
+	}
+	if probe(n, "a", lb.Addr().String()) {
+		t.Error("SameHost true across distinct hosts")
+	}
+}

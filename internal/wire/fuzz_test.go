@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"net"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -133,4 +134,92 @@ func TestEncodeDecodeIdentityQuick(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzMux feeds arbitrary _stream / _win header values through Accept
+// in both flow-control granularities. Invariants: never panic, a WINUP
+// is always transport-only, invalid stream IDs (0, non-numeric, past
+// maxStreamID) are never accounted, and no grant — however hostile —
+// pushes a send window past its initial size.
+func FuzzMux(f *testing.F) {
+	seeds := []struct {
+		stream, win string
+	}{
+		{"1", "1:1"},
+		{"2", "2:64"},
+		{"0", "0:5"}, // WINUP-style grant for stream 0: ignored
+		{"99999999999", ":::,0:-1,99999999999:1"}, // overflow stream, garbage grants
+		{"-3", "2:-7"},        // negative values everywhere
+		{"2", "2:1073741825"}, // grant past maxByteGrant
+		{"65537", "65537:1"},  // just past maxStreamID
+		{"", "1:1,2:2,3:3"},   // grants with no stream
+		{"3", ""},
+	}
+	for _, s := range seeds {
+		f.Add(s.stream, s.win, true)
+		f.Add(s.stream, s.win, false)
+	}
+	f.Fuzz(func(t *testing.T, stream, win string, byteMode bool) {
+		ca, cb := net.Pipe()
+		defer ca.Close()
+		defer cb.Close()
+		// Drain the peer side so a threshold-triggered WINUP cannot
+		// block Accept on the synchronous pipe.
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				if _, err := cb.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		x := NewMux(NewConn(ca), MuxConfig{ByteWindow: byteMode})
+
+		// A pure window update must always be transport-only.
+		wm := NewMessage(VerbWinUpdate)
+		if win != "" {
+			wm.Set(FieldWindow, win)
+		}
+		if sid, handled := x.Accept(wm); !handled || sid != 0 {
+			t.Fatalf("WINUP: handled=%v sid=%d", handled, sid)
+		}
+
+		// A data message with arbitrary mux fields.
+		dm := NewMessage("EVENT").Set("attr", "a")
+		if stream != "" {
+			dm.Set(FieldStream, stream)
+		}
+		if win != "" {
+			dm.Set(FieldWindow, win)
+		}
+		sid, handled := x.Accept(dm)
+		if handled {
+			t.Fatal("data message reported as transport-only")
+		}
+		if _, ok := dm.Fields[FieldStream]; ok {
+			t.Fatal("_stream survived Accept")
+		}
+		if _, ok := dm.Fields[FieldWindow]; ok {
+			t.Fatal("_win survived Accept")
+		}
+		if sid > maxStreamID {
+			t.Fatalf("Accept returned out-of-range stream %d", sid)
+		}
+
+		x.mu.Lock()
+		defer x.mu.Unlock()
+		for s, v := range x.send {
+			if s == 0 || s > maxStreamID {
+				t.Fatalf("send window accounted for invalid stream %d", s)
+			}
+			if w := x.winFor(s); v > w {
+				t.Fatalf("send[%d] = %d exceeds initial window %d", s, v, w)
+			}
+		}
+		for s := range x.pending {
+			if s == 0 || s > maxStreamID {
+				t.Fatalf("receive accounting for invalid stream %d", s)
+			}
+		}
+	})
 }

@@ -20,14 +20,28 @@ import (
 // negotiation) or carries them through untouched per the reserved-key
 // contract.
 //
-// Flow control is credit-based and counted in messages, not bytes:
-// each non-zero stream starts with the same fixed number of send
-// credits on both sides, a send consumes one, and the receiver grants
-// credits back as it consumes messages. Message counting keeps the two
-// ends' accounting trivially symmetric (no drift from encoding
-// differences), and bulk frames are bounded — large snapshot replays
-// are chunked (see attrspace) — so a message-credit window still
-// bounds the bytes a stream can have in flight.
+// Flow control is credit-based and comes in two granularities. The v2
+// baseline counts messages: each non-zero stream starts with the same
+// fixed number of send credits on both sides, a send consumes one, and
+// the receiver grants credits back as it consumes messages. Message
+// counting keeps the two ends' accounting trivially symmetric (no
+// drift from encoding differences), and bulk frames are bounded —
+// large snapshot replays are chunked (see attrspace) — so a
+// message-credit window still bounds the bytes a stream can have in
+// flight, loosely.
+//
+// Transport v3 (negotiated via CapByteWin) counts bytes instead: a
+// send consumes the message's EncodedSize, grants carry bytes, and
+// each stream's initial window is sized for its traffic class — bulk
+// and samples get room for throughput, events stay small so a
+// fan-out burst cannot buffer far ahead of a slow consumer. Byte
+// accounting stays symmetric because both ends measure the same
+// payload with the same EncodedSize: the sender costs the message
+// before stamping _stream/_win, the receiver after stripping them.
+// One message always moves even when it alone exceeds the whole
+// window — the sender waits for the window to be positive, then
+// deducts the full cost and lets the window go negative — so an
+// oversized frame degrades to stop-and-wait rather than deadlocking.
 //
 // Stream 0 is the control stream: request/reply traffic is
 // self-limiting (one reply per request) and exempt from flow control,
@@ -52,9 +66,44 @@ const (
 // assume it, so changing it is a capability change.
 const DefaultCredits = 64
 
+// Per-stream initial windows for byte-granular flow control
+// (CapByteWin). Like DefaultCredits these are protocol constants both
+// ends assume. Bulk is sized to keep a chunked snapshot replay
+// streaming (one SnapChunkEntries part in flight plus headroom),
+// samples sized for sustained telemetry fan-in, and events kept small
+// on purpose: event latency is the point of that stream, so a slow
+// subscriber should exert back-pressure after a few dozen KiB, not
+// after megabytes.
+const (
+	ByteWindowEvents  = 32 << 10
+	ByteWindowBulk    = 256 << 10
+	ByteWindowSamples = 128 << 10
+	ByteWindowDefault = 64 << 10
+)
+
+// byteWindowFor maps a stream to its initial byte window.
+func byteWindowFor(stream uint32) int {
+	switch stream {
+	case StreamEvents:
+		return ByteWindowEvents
+	case StreamBulk:
+		return ByteWindowBulk
+	case StreamSamples:
+		return ByteWindowSamples
+	default:
+		return ByteWindowDefault
+	}
+}
+
 // maxStreamID bounds accepted stream IDs so a hostile peer cannot
 // grow the per-stream accounting maps without bound.
 const maxStreamID = 1 << 16
+
+// maxByteGrant bounds a single grant value in byte mode; anything
+// larger than 1 GiB is a corrupt or hostile peer (windows are capped
+// at their initial size anyway — this just rejects absurd parses
+// before they touch the accounting).
+const maxByteGrant = 1 << 30
 
 // VerbWinUpdate is the explicit window-update verb, sent when a
 // receiver has accumulated grants and has no outgoing message to
@@ -67,8 +116,14 @@ var ErrMuxClosed = errors.New("wire: mux closed")
 // MuxConfig parameterizes a Mux.
 type MuxConfig struct {
 	// Credits is the initial per-stream send window in messages;
-	// 0 means DefaultCredits. Both ends must agree (tests only).
+	// 0 means DefaultCredits. In byte mode a non-zero Credits instead
+	// overrides every stream's byte window. Both ends must agree
+	// (tests only).
 	Credits int
+	// ByteWindow selects byte-granular flow control (CapByteWin):
+	// windows and grants count payload bytes rather than messages.
+	// Both ends must agree — it is set from the negotiated capability.
+	ByteWindow bool
 	// Registry receives the wire.mux.* metrics; nil records nothing.
 	Registry *telemetry.Registry
 }
@@ -83,13 +138,13 @@ type MuxConfig struct {
 // window has accumulated.
 type Mux struct {
 	c       *Conn
-	credits int // initial window per stream
-	thresh  int // pending grants that force an explicit WINUP
+	credits int  // initial window per stream (messages, or byte override)
+	bytes   bool // byte-granular windows (CapByteWin)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	send    map[uint32]int // remaining send credits per stream
-	pending map[uint32]int // received-but-ungranted messages per stream
+	send    map[uint32]int // remaining send window per stream
+	pending map[uint32]int // received-but-ungranted units per stream
 	npend   int            // sum of pending
 	err     error
 
@@ -107,10 +162,15 @@ func NewMux(c *Conn, cfg MuxConfig) *Mux {
 	if credits <= 0 {
 		credits = DefaultCredits
 	}
+	if cfg.ByteWindow {
+		// In byte mode the per-stream windows come from byteWindowFor;
+		// cfg.Credits (when set) overrides them uniformly for tests.
+		credits = cfg.Credits
+	}
 	x := &Mux{
 		c:       c,
 		credits: credits,
-		thresh:  (credits + 1) / 2,
+		bytes:   cfg.ByteWindow,
 		send:    make(map[uint32]int),
 		pending: make(map[uint32]int),
 	}
@@ -132,12 +192,19 @@ func NewMux(c *Conn, cfg MuxConfig) *Mux {
 // blocks another.
 func (x *Mux) SendOn(stream uint32, m *Message) error {
 	if stream != StreamControl {
-		if !x.tryAcquire(stream) {
+		// Cost the message BEFORE stamping the mux fields; the receiver
+		// costs it after stripping them, so both ends account the same
+		// bytes (Encode is field-order independent).
+		cost := 1
+		if x.bytes {
+			cost = m.EncodedSize()
+		}
+		if !x.tryAcquire(stream, cost) {
 			// About to block: push out any frames an enclosing Cork is
 			// holding — their receipt is what funds the grants we wait
 			// for, so leaving them buffered would deadlock the stream.
 			x.c.Flush()
-			if err := x.acquire(stream); err != nil {
+			if err := x.acquire(stream, cost); err != nil {
 				return err
 			}
 		}
@@ -151,42 +218,55 @@ func (x *Mux) SendOn(stream uint32, m *Message) error {
 	return nil
 }
 
-// tryAcquire consumes one send credit on stream without blocking; it
-// reports false when the window is dry (or the mux already failed —
-// acquire surfaces the error).
-func (x *Mux) tryAcquire(stream uint32) bool {
+// winFor returns a stream's initial send window: messages in v2 mode,
+// bytes (per traffic class, unless overridden) in byte mode.
+func (x *Mux) winFor(stream uint32) int {
+	if !x.bytes {
+		return x.credits
+	}
+	if x.credits > 0 {
+		return x.credits
+	}
+	return byteWindowFor(stream)
+}
+
+// initLocked lazily initializes a stream's send window. Callers hold mu.
+func (x *Mux) initLocked(stream uint32) int {
+	cr, ok := x.send[stream]
+	if !ok {
+		cr = x.winFor(stream)
+		x.send[stream] = cr
+		if x.gStreams != nil {
+			x.gStreams.Set(int64(len(x.send)))
+		}
+	}
+	return cr
+}
+
+// tryAcquire deducts cost from stream's send window without blocking;
+// it reports false when the window is dry (or the mux already failed —
+// acquire surfaces the error). The window only gates entry (it must be
+// positive); the full cost is deducted even when it exceeds the
+// remaining window, so an oversized message degrades to stop-and-wait
+// instead of deadlocking.
+func (x *Mux) tryAcquire(stream uint32, cost int) bool {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.err != nil {
 		return false
 	}
-	cr, ok := x.send[stream]
-	if !ok {
-		cr = x.credits
-		x.send[stream] = cr
-		if x.gStreams != nil {
-			x.gStreams.Set(int64(len(x.send)))
-		}
-	}
-	if cr <= 0 {
+	if x.initLocked(stream) <= 0 {
 		return false
 	}
-	x.send[stream]--
+	x.send[stream] -= cost
 	return true
 }
 
-// acquire consumes one send credit on stream, waiting for the peer's
-// grants when the window is dry.
-func (x *Mux) acquire(stream uint32) error {
+// acquire deducts cost from stream's send window, waiting for the
+// peer's grants while the window is non-positive.
+func (x *Mux) acquire(stream uint32, cost int) error {
 	x.mu.Lock()
-	cr, ok := x.send[stream]
-	if !ok {
-		cr = x.credits
-		x.send[stream] = cr
-		if x.gStreams != nil {
-			x.gStreams.Set(int64(len(x.send)))
-		}
-	}
+	cr := x.initLocked(stream)
 	if cr <= 0 && x.err == nil {
 		if x.cStalls != nil {
 			x.cStalls.Inc()
@@ -204,7 +284,7 @@ func (x *Mux) acquire(stream uint32) error {
 		x.mu.Unlock()
 		return err
 	}
-	x.send[stream]--
+	x.send[stream] -= cost
 	x.mu.Unlock()
 	return nil
 }
@@ -233,10 +313,19 @@ func (x *Mux) Accept(m *Message) (stream uint32, handled bool) {
 		return 0, false
 	}
 	sid := uint32(sid64)
+	// Cost AFTER stripping _stream/_win — the mirror of SendOn costing
+	// before stamping them, so both ends deduct identical amounts.
+	cost := 1
+	if x.bytes {
+		cost = m.EncodedSize()
+	}
 	x.mu.Lock()
-	x.pending[sid]++
-	x.npend++
-	flush := x.pending[sid] >= x.thresh
+	x.pending[sid] += cost
+	x.npend += cost
+	// Grant back once half the stream's window has accumulated: often
+	// enough that the sender rarely stalls, rarely enough that grant
+	// traffic stays negligible.
+	flush := x.pending[sid] >= (x.winFor(sid)+1)/2
 	var grants string
 	if flush {
 		grants = x.grantsLocked()
@@ -321,22 +410,21 @@ func (x *Mux) applyGrants(grants string) {
 		if err != nil || sid64 == 0 || sid64 > maxStreamID {
 			continue
 		}
+		maxGrant := maxStreamID
+		if x.bytes {
+			maxGrant = maxByteGrant
+		}
 		n, err := strconv.Atoi(pair[i+1:])
-		if err != nil || n <= 0 || n > maxStreamID {
+		if err != nil || n <= 0 || n > maxGrant {
 			continue
 		}
 		sid := uint32(sid64)
-		if _, ok := x.send[sid]; !ok {
-			x.send[sid] = x.credits
-			if x.gStreams != nil {
-				x.gStreams.Set(int64(len(x.send)))
-			}
-		}
+		x.initLocked(sid)
 		x.send[sid] += n
 		// Cap at the initial window: grants can never exceed what we
 		// consumed, so exceeding it means a confused peer.
-		if x.send[sid] > x.credits {
-			x.send[sid] = x.credits
+		if w := x.winFor(sid); x.send[sid] > w {
+			x.send[sid] = w
 		}
 		woke = true
 	}
@@ -388,6 +476,16 @@ const (
 	// CapTBatch: the TBATCH verb — a whole mrnet drain cycle's SAMPLE
 	// and TSAMPLE updates packed into one frame on a node→node uplink.
 	CapTBatch = "tbatch"
+	// CapByteWin: byte-granular credit windows — _win entries carry
+	// bytes and per-stream windows come from the ByteWindow* constants.
+	// Without it a mux-capable peer stays on message counting (v2).
+	CapByteWin = "bytewin"
+	// CapShm: the shared-memory ring transport for same-host
+	// connections. Granted only when the server can see the client is
+	// local (unix socket); the framed protocol bootstraps over the
+	// socket and then both byte streams cut over to the mmap ring,
+	// with the socket retained as doorbell and liveness signal.
+	CapShm = "shm"
 )
 
 // ParseCaps splits a comma-separated capability list into a set.

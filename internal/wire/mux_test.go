@@ -334,3 +334,233 @@ func TestCorkUncorkConcurrentSendRace(t *testing.T) {
 		t.Fatal("receiver did not finish")
 	}
 }
+
+// byteMuxPair is muxPair for byte-granular (transport v3) windows;
+// override sets a uniform byte window, 0 keeps the per-stream defaults.
+func byteMuxPair(t *testing.T, override int) (a, b *Conn, am, bm *Mux) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	a, b = NewConn(ca), NewConn(cb)
+	am = NewMux(a, MuxConfig{ByteWindow: true, Credits: override})
+	bm = NewMux(b, MuxConfig{ByteWindow: true, Credits: override})
+	return a, b, am, bm
+}
+
+func TestMuxByteWindowDefaults(t *testing.T) {
+	ca, cb := net.Pipe()
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	x := NewMux(NewConn(ca), MuxConfig{ByteWindow: true})
+	for _, tc := range []struct {
+		stream uint32
+		want   int
+	}{
+		{StreamEvents, ByteWindowEvents},
+		{StreamBulk, ByteWindowBulk},
+		{StreamSamples, ByteWindowSamples},
+		{7, ByteWindowDefault},
+	} {
+		if got := x.winFor(tc.stream); got != tc.want {
+			t.Errorf("winFor(%d) = %d, want %d", tc.stream, got, tc.want)
+		}
+	}
+	// Message mode keeps the credit count for every stream.
+	y := NewMux(NewConn(cb), MuxConfig{})
+	if got := y.winFor(StreamBulk); got != DefaultCredits {
+		t.Errorf("message-mode winFor = %d, want %d", got, DefaultCredits)
+	}
+}
+
+// TestMuxByteWindowBlocksAndRefills is the byte-mode mirror of the
+// window/WINUP test: the total payload pushed through the stream is
+// many times the byte window, so the sender only finishes if the
+// receiver's byte grants flow back.
+func TestMuxByteWindowBlocksAndRefills(t *testing.T) {
+	const window = 256
+	const total = 40 // ~40 messages of ~45 encoded bytes through a 256-byte window
+	_, b, am, bm := byteMuxPair(t, window)
+	pump(am)
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := am.SendOn(StreamBulk, NewMessage("SNAPV").Set("blob", "0123456789abcdef").SetInt("part", i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	got := 0
+	for got < total {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, handled := bm.Accept(m); handled {
+			continue
+		}
+		got++
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender never finished despite byte grants")
+	}
+}
+
+// TestMuxByteWindowOversizedMessage: a message costing more than the
+// whole window must still move (stop-and-wait), not deadlock — the
+// window goes negative and the receiver's grant restores it.
+func TestMuxByteWindowOversizedMessage(t *testing.T) {
+	const window = 64
+	_, b, am, bm := byteMuxPair(t, window)
+	pump(am)
+
+	big := NewMessage("SNAPV").Set("blob", "this payload alone encodes far larger than the whole sixty-four byte window")
+	if big.EncodedSize() <= window {
+		t.Fatalf("test message EncodedSize %d not oversized", big.EncodedSize())
+	}
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 5; i++ {
+			m := NewMessage("SNAPV").Set("blob", "this payload alone encodes far larger than the whole sixty-four byte window")
+			if err := am.SendOn(StreamBulk, m); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	got := 0
+	for got < 5 {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, handled := bm.Accept(m); handled {
+			continue
+		}
+		got++
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversized messages deadlocked")
+	}
+}
+
+// TestMuxByteGrantCappedAtWindow: a hostile or confused peer granting
+// more than was ever consumed must not inflate the send window past its
+// initial size.
+func TestMuxByteGrantCappedAtWindow(t *testing.T) {
+	ca, cb := net.Pipe()
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	x := NewMux(NewConn(ca), MuxConfig{ByteWindow: true})
+	go func() { // drain any WINUP the accept side emits
+		buf := make([]byte, 4096)
+		for {
+			if _, err := cb.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	x.applyGrants("2:999999999")
+	x.mu.Lock()
+	got := x.send[StreamBulk]
+	x.mu.Unlock()
+	if got != ByteWindowBulk {
+		t.Fatalf("send window after absurd grant = %d, want cap %d", got, ByteWindowBulk)
+	}
+	// Over maxByteGrant is rejected before it touches the accounting:
+	// the stream's window entry is never even created.
+	x.applyGrants("3:1073741825")
+	x.mu.Lock()
+	_, touched := x.send[StreamSamples]
+	x.mu.Unlock()
+	if touched {
+		t.Fatal("out-of-range grant touched the stream's window accounting")
+	}
+}
+
+// TestMuxBlockedSendRacesFailOnClose: a SendOn parked on a dry window
+// while the connection dies must return the mux error, not hang. The
+// owner read loop (pump) turns the conn error into Fail, exactly as in
+// production.
+func TestMuxBlockedSendRacesFailOnClose(t *testing.T) {
+	ca, cb := net.Pipe()
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	a, b := NewConn(ca), NewConn(cb)
+	am := NewMux(a, MuxConfig{Credits: 1})
+	pump(am)
+
+	// Drain the window.
+	go am.SendOn(StreamBulk, NewMessage("SNAPV"))
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// Park a second send on the dry window…
+	errs := make(chan error, 1)
+	go func() { errs <- am.SendOn(StreamBulk, NewMessage("SNAPV")) }()
+	time.Sleep(20 * time.Millisecond)
+	// …then kill the connection out from under it.
+	cb.Close()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("blocked SendOn returned nil after conn death")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked SendOn hung across conn death")
+	}
+}
+
+// TestMuxCorkedBatchExceedsWindow: a corked batch larger than the send
+// window must not deadlock — SendOn flushes the cork before parking, so
+// the receiver can fund the grants the tail of the batch waits for.
+func TestMuxCorkedBatchExceedsWindow(t *testing.T) {
+	const credits = 4
+	const total = 3 * credits
+	a, b, am, bm := muxPair(t, credits)
+	pump(am)
+
+	done := make(chan error, 1)
+	go func() {
+		a.Cork()
+		defer a.Uncork()
+		for i := 0; i < total; i++ {
+			if err := am.SendOn(StreamBulk, NewMessage("SNAPV").SetInt("part", i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	got := 0
+	for got < total {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, handled := bm.Accept(m); handled {
+			continue
+		}
+		got++
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("corked batch past the window deadlocked")
+	}
+}

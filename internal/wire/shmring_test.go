@@ -1,0 +1,314 @@
+//go:build linux || darwin
+
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shmPair maps one segment from both ends — exactly what a real
+// connection does: the server creates the file, the client opens it —
+// and wires the two endpoints' doorbells together with an in-memory
+// pipe standing in for the unix socket.
+func shmPair(t *testing.T, ringSize int) (server, client *ShmEndpoint) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ring.shm")
+	seg, err := CreateShmSegment(path, ringSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := OpenShmSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(path) // the mappings alone keep the pages alive
+	ss, cs := net.Pipe()
+	server = seg.Endpoint(true, ss)
+	client = peer.Endpoint(false, cs)
+	server.Activate()
+	client.Activate()
+	t.Cleanup(func() { server.Close(); client.Close() })
+	return server, client
+}
+
+func TestShmSegmentValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CreateShmSegment(filepath.Join(dir, "odd.shm"), 5000); !errors.Is(err, ErrShmBadSegment) {
+		t.Fatalf("non-power-of-two size: err = %v, want ErrShmBadSegment", err)
+	}
+	if _, err := OpenShmSegment(filepath.Join(dir, "absent.shm")); err == nil {
+		t.Fatal("opening a missing segment succeeded")
+	}
+	// Too small to hold even the header and minimum rings.
+	runt := filepath.Join(dir, "runt.shm")
+	if err := os.WriteFile(runt, make([]byte, 128), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShmSegment(runt); !errors.Is(err, ErrShmBadSegment) {
+		t.Fatalf("runt file: err = %v, want ErrShmBadSegment", err)
+	}
+	// Right size, wrong magic (an all-zero file of plausible length).
+	blank := filepath.Join(dir, "blank.shm")
+	if err := os.WriteFile(blank, make([]byte, shmHdrSize+2*4096), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShmSegment(blank); !errors.Is(err, ErrShmBadSegment) {
+		t.Fatalf("bad magic: err = %v, want ErrShmBadSegment", err)
+	}
+	// A valid create/open round trip reports the stamped ring size.
+	good := filepath.Join(dir, "good.shm")
+	seg, err := CreateShmSegment(good, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.RingSize() != 8192 {
+		t.Fatalf("creator RingSize = %d, want 8192", seg.RingSize())
+	}
+	peer, err := OpenShmSegment(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer.RingSize() != 8192 {
+		t.Fatalf("opener RingSize = %d, want 8192", peer.RingSize())
+	}
+	if _, err := CreateShmSegment(good, 8192); err == nil {
+		t.Fatal("creating over an existing file succeeded")
+	}
+}
+
+// TestShmRingByteStream pushes far more data than the ring holds in
+// both directions at once, with pseudorandom write sizes, and verifies
+// the streams arrive byte-exact — wraparound, partial writes, and the
+// park/wake paths all get exercised on a 4 KiB ring.
+func TestShmRingByteStream(t *testing.T) {
+	server, client := shmPair(t, 4096)
+	const total = 1 << 20
+
+	stream := func(src *rand.Rand, w io.Writer, errs chan<- error) {
+		sent := 0
+		for sent < total {
+			n := 1 + src.Intn(10000)
+			if n > total-sent {
+				n = total - sent
+			}
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte(sent + i)
+			}
+			if _, err := w.Write(buf); err != nil {
+				errs <- err
+				return
+			}
+			sent += n
+		}
+		errs <- nil
+	}
+	drain := func(r io.Reader, errs chan<- error) {
+		got := make([]byte, 0, total)
+		buf := make([]byte, 8192)
+		for len(got) < total {
+			n, err := r.Read(buf)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got = append(got, buf[:n]...)
+		}
+		for i, b := range got {
+			if b != byte(i) {
+				errs <- errors.New("byte stream corrupted")
+				return
+			}
+		}
+		errs <- nil
+	}
+
+	errs := make(chan error, 4)
+	go stream(rand.New(rand.NewSource(1)), client, errs)
+	go stream(rand.New(rand.NewSource(2)), server, errs)
+	go drain(server, errs)
+	go drain(client, errs)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("ring transfer did not finish")
+		}
+	}
+}
+
+// TestShmRingFramedMessages runs the real framing over the ring,
+// including a message several times larger than the ring itself (it
+// must stream through in pieces).
+func TestShmRingFramedMessages(t *testing.T) {
+	server, client := shmPair(t, 4096)
+	sc, cc := NewConn(server), NewConn(client)
+
+	big := strings.Repeat("v", 3*4096)
+	done := make(chan error, 1)
+	go func() {
+		if err := cc.Send(NewMessage("PUT").Set("attr", "a").Set("val", "1")); err != nil {
+			done <- err
+			return
+		}
+		done <- cc.Send(NewMessage("SNAPV").Set("blob", big))
+	}()
+	m, err := sc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Verb != "PUT" || m.Get("attr") != "a" {
+		t.Fatalf("first frame = %v", m)
+	}
+	m, err = sc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Verb != "SNAPV" || m.Get("blob") != big {
+		t.Fatal("oversized frame did not survive the ring")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// And the reverse direction still works.
+	go sc.Send(NewMessage("OK"))
+	if m, err = cc.Recv(); err != nil || m.Verb != "OK" {
+		t.Fatalf("reverse frame: %v, %v", m, err)
+	}
+}
+
+// TestShmRingParkAndWake forces the reader all the way into the parked
+// state (no data for much longer than the spin budget) and verifies a
+// late write still wakes it via the doorbell.
+func TestShmRingParkAndWake(t *testing.T) {
+	server, client := shmPair(t, 4096)
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, err := server.Read(buf)
+		if err != nil {
+			t.Error(err)
+			got <- nil
+			return
+		}
+		got <- buf[:n]
+	}()
+	time.Sleep(100 * time.Millisecond) // reader is parked by now
+	if _, err := client.Write([]byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		if !bytes.Equal(b, []byte("wake")) {
+			t.Fatalf("read %q, want %q", b, "wake")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked reader never woke")
+	}
+}
+
+// TestShmRingDrainsBeforeDeath: data already in the ring must be
+// readable after the peer closes — a dæmon's final replies survive its
+// exit — and only then does the transport error surface.
+func TestShmRingDrainsBeforeDeath(t *testing.T) {
+	server, client := shmPair(t, 4096)
+	if _, err := client.Write([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	buf := make([]byte, 32)
+	n, err := server.Read(buf)
+	if err != nil {
+		t.Fatalf("read after peer close: %v (data must drain first)", err)
+	}
+	if string(buf[:n]) != "last words" {
+		t.Fatalf("drained %q", buf[:n])
+	}
+	if _, err := server.Read(buf); err == nil {
+		t.Fatal("no error after ring drained and peer dead")
+	}
+	// A writer against a dead transport fails too (possibly after the
+	// doorbell reader notices; give it the full park path).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := server.Write([]byte("x")); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write against dead transport kept succeeding")
+		}
+	}
+}
+
+// BenchmarkShmRingThroughput measures raw ring bandwidth for the
+// EXPERIMENTS E22 curve: one producer streaming fixed-size chunks to
+// one consumer through the default-size ring. Untracked (not part of
+// the bench gate) — the tracked same-host numbers live in attrspace's
+// BenchmarkSameHostPut.
+func BenchmarkShmRingThroughput(b *testing.B) {
+	for _, chunk := range []int{64, 512, 4096, 32768} {
+		b.Run(byteSizeName(chunk), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "ring.shm")
+			seg, err := CreateShmSegment(path, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			peer, err := OpenShmSegment(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			os.Remove(path)
+			ss, cs := net.Pipe()
+			server := seg.Endpoint(true, ss)
+			client := peer.Endpoint(false, cs)
+			server.Activate()
+			client.Activate()
+			defer server.Close()
+			defer client.Close()
+
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				buf := make([]byte, 64<<10)
+				total := b.N * chunk
+				got := 0
+				for got < total {
+					n, err := server.Read(buf)
+					if err != nil {
+						return
+					}
+					got += n
+				}
+			}()
+			buf := make([]byte, chunk)
+			b.SetBytes(int64(chunk))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Write(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			<-done
+		})
+	}
+}
+
+func byteSizeName(n int) string {
+	if n >= 1<<10 && n%(1<<10) == 0 {
+		return strconv.Itoa(n>>10) + "KiB"
+	}
+	return strconv.Itoa(n) + "B"
+}

@@ -101,13 +101,15 @@ func init() {
 		// Transport v2 verbs: delta snapshots, flow-control window
 		// updates, and wire-level liveness probes.
 		"SNAPD", "DELTA", "WINUP", "PING", "PONG",
+		// Transport v3: the client's shared-memory cutover request.
+		"SHMRDY",
 		// Common field keys.
 		"id", "attr", "value", "context", "error", "daemon", "json",
 		"n", "seq", "op", "who", "lost", "seqs", "reason", "conn",
 		"fn", "calls", "time_us", "status", "host", "executable",
 		"pid", "rank", "kind", "name", "scope", "target", "resume",
 		"caps", "since", "part", "more", "total",
-		"ctx", "wait", "shard", "smv",
+		"ctx", "wait", "shard", "smv", "shmfile",
 		FieldTraceID, FieldSpanID, FieldStream, FieldWindow,
 	}
 	// Batched put / snapshot field keys k0..k31, v0..v31 (plus the
@@ -123,13 +125,15 @@ func init() {
 	}
 }
 
-// intern returns the canonical string for b, allocating only when b is
-// outside the protocol's fixed vocabulary.
-func intern(b []byte) string {
-	if s, ok := interned[string(b)]; ok {
-		return s
+// intern returns the canonical string for s when it is in the
+// protocol's fixed vocabulary. Callers pass views of an already-copied
+// payload, so the miss path allocates nothing either — interning here
+// is purely canonicalization (verb dispatch compares pointers first).
+func intern(s string) string {
+	if c, ok := interned[s]; ok {
+		return c
 	}
-	return string(b)
+	return s
 }
 
 // Message is a verb plus a set of string key/value fields. It is the
@@ -309,11 +313,16 @@ func Decode(payload []byte) (*Message, error) {
 
 // DecodeInto parses a payload into m, reusing m's field map when
 // present (it is cleared first). Decoded messages share no memory with
-// payload, so callers may reuse the payload buffer immediately. Known
-// protocol verbs and field keys are interned rather than allocated.
+// payload, so callers may reuse the payload buffer immediately: the
+// payload is copied into a single string up front and every decoded
+// verb, key, and value is a zero-copy view of that one copy — a
+// message with f fields costs one allocation, not f+1. (The flip side:
+// retaining any one field value keeps the whole message's bytes alive,
+// which for kilobyte-scale protocol messages is the right trade.)
 // On error m's contents are unspecified.
 func DecodeInto(m *Message, payload []byte) error {
-	verb, rest, err := readVarStr(payload)
+	s := string(payload)
+	verb, rest, err := readVarStr(s)
 	if err != nil {
 		return err
 	}
@@ -335,7 +344,7 @@ func DecodeInto(m *Message, payload []byte) error {
 		clear(m.Fields)
 	}
 	for i := 0; i < n; i++ {
-		var k, v []byte
+		var k, v string
 		k, rest, err = readVarStr(rest)
 		if err != nil {
 			return err
@@ -344,7 +353,7 @@ func DecodeInto(m *Message, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		m.Fields[intern(k)] = string(v)
+		m.Fields[k] = v
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))
@@ -374,12 +383,13 @@ func decimalDigits(n int) int {
 // parseLen parses a non-negative decimal length from b. It accepts
 // only plain digit runs (no sign, no spaces) of at most 9 digits —
 // anything longer necessarily exceeds MaxFrameSize.
-func parseLen(b []byte) (int, bool) {
+func parseLen(b string) (int, bool) {
 	if len(b) == 0 || len(b) > 9 {
 		return 0, false
 	}
 	n := 0
-	for _, c := range b {
+	for i := 0; i < len(b); i++ {
+		c := b[i]
 		if c < '0' || c > '9' {
 			return 0, false
 		}
@@ -388,38 +398,39 @@ func parseLen(b []byte) (int, bool) {
 	return n, true
 }
 
-func readCount(b []byte) (int, []byte, error) {
+func readCount(b string) (int, string, error) {
 	i := 0
 	for i < len(b) && b[i] != ';' {
 		i++
 	}
 	if i == len(b) {
-		return 0, nil, fmt.Errorf("%w: missing field count", ErrMalformed)
+		return 0, "", fmt.Errorf("%w: missing field count", ErrMalformed)
 	}
 	n, ok := parseLen(b[:i])
 	if !ok {
-		return 0, nil, fmt.Errorf("%w: bad field count", ErrMalformed)
+		return 0, "", fmt.Errorf("%w: bad field count", ErrMalformed)
 	}
 	return n, b[i+1:], nil
 }
 
 // readVarStr slices one length-prefixed string out of b. The returned
-// bytes alias b; callers copy (or intern) before retaining them.
-func readVarStr(b []byte) ([]byte, []byte, error) {
+// string shares b's backing — for DecodeInto that is the message's own
+// payload copy, so retaining it is safe.
+func readVarStr(b string) (string, string, error) {
 	i := 0
 	for i < len(b) && b[i] != ':' {
 		i++
 	}
 	if i == len(b) {
-		return nil, nil, fmt.Errorf("%w: missing length separator", ErrMalformed)
+		return "", "", fmt.Errorf("%w: missing length separator", ErrMalformed)
 	}
 	n, ok := parseLen(b[:i])
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: bad length", ErrMalformed)
+		return "", "", fmt.Errorf("%w: bad length", ErrMalformed)
 	}
 	rest := b[i+1:]
 	if len(rest) < n {
-		return nil, nil, fmt.Errorf("%w: short string", ErrMalformed)
+		return "", "", fmt.Errorf("%w: short string", ErrMalformed)
 	}
 	return rest[:n], rest[n:], nil
 }
@@ -497,6 +508,31 @@ func (c *Conn) Underlying() io.ReadWriter { return c.rw }
 // underlying stream. Use it when switching a connection from framed
 // messages to a raw byte stream (e.g. after a proxy handshake).
 func (c *Conn) Detach() io.Reader { return c.br }
+
+// SwapRead replaces the connection's read side with r. It is the
+// receive half of a transport cutover (the shm upgrade): the Conn —
+// and any Mux layered on it — keeps its identity while the bytes start
+// arriving from somewhere else. The caller must guarantee that no
+// framed bytes remain on (or will ever again arrive from) the old
+// stream, and must not call this while another goroutine is blocked in
+// Recv — in practice the owner's read loop performs the swap between
+// two of its own Recv calls, which satisfies both.
+func (c *Conn) SwapRead(r io.Reader) {
+	c.rmu.Lock()
+	c.br = bufio.NewReader(r)
+	c.rmu.Unlock()
+}
+
+// SwapWrite replaces the connection's write side with w, the transmit
+// half of a transport cutover. Safe at any time with respect to
+// concurrent Sends (the write mutex orders the swap against them); the
+// caller's protocol must guarantee the peer is ready to read from the
+// new stream before anything is sent on it.
+func (c *Conn) SwapWrite(w io.Writer) {
+	c.wmu.Lock()
+	c.w = w
+	c.wmu.Unlock()
+}
 
 // Send frames and writes one message. Header and payload go out in a
 // single Write on the underlying stream (one syscall, and on TCP one

@@ -19,17 +19,20 @@
 # transport path, so it can neither regress nor silently drop out of
 # the tracked set. SameHostPut and SessionResync graduated from the
 # excluded list once a few releases of history showed them steady
-# within the threshold: the unix-socket fast path and the delta-resync
-# path are headline transport numbers, so they gate now too. The
-# CASSSharded scaling curve is excluded like the other latency-shaped
-# benchmarks — its ns/op is set by an injected link delay, and only
-# the shards=4 : shards=1 ratio is meaningful.
+# within the threshold: the same-host transport ladder (tcp/unix/shm)
+# and the delta-resync path are headline transport numbers, so they
+# gate now too. MRNetFanIn graduated the same way — the telemetry
+# fan-in tree is the monitoring hot path, and its per-sample cost
+# proved steady enough to hard-gate once the batched uplink landed.
+# The CASSSharded scaling curve stays excluded like the other
+# latency-shaped benchmarks — its ns/op is set by an injected link
+# delay, and only the shards=4 : shards=1 ratio is meaningful.
 set -eu
 baseline=${1:?usage: benchdiff.sh baseline.json current.json}
 current=${2:?usage: benchdiff.sh baseline.json current.json}
 : "${THRESHOLD:=20}"
-: "${GATE_EXCLUDE:=ManyContexts|GlobalGetCached|ProxyRelay|MRNetFanIn|MuxFanout|CASSSharded}"
-: "${GATE_REQUIRE:=^BenchmarkWire|^BenchmarkSameHostPut|^BenchmarkSessionResync}"
+: "${GATE_EXCLUDE:=ManyContexts|GlobalGetCached|ProxyRelay|MuxFanout|CASSSharded}"
+: "${GATE_REQUIRE:=^BenchmarkWire|^BenchmarkSameHostPut|^BenchmarkSessionResync|^BenchmarkMRNetFanIn}"
 
 awk -v thr="$THRESHOLD" -v excl="$GATE_EXCLUDE" -v req="$GATE_REQUIRE" '
 FNR == 1 { file++ }

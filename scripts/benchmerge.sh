@@ -1,0 +1,59 @@
+#!/bin/sh
+# benchmerge.sh BASE.json NEW.json PATTERN
+#
+# Fold a partial benchmark run into a committed BENCH_attrspace.json:
+# BASE's entries whose name matches PATTERN (an awk ERE) are replaced,
+# in place, by all of NEW's entries; everything else (including the
+# goos/goarch/cpu header) is kept from BASE. Emits the merged JSON on
+# stdout. Both inputs must be in the one-entry-per-line layout that
+# bench2json.sh produces — like benchdiff.sh, this parses with awk
+# alone, no jq in the image.
+set -eu
+base=${1:?usage: benchmerge.sh base.json new.json pattern}
+new=${2:?usage: benchmerge.sh base.json new.json pattern}
+pat=${3:?usage: benchmerge.sh base.json new.json pattern}
+
+awk -v pat="$pat" '
+function entryname(line) {
+	if (match(line, /"name": "[^"]+"/))
+		return substr(line, RSTART + 9, RLENGTH - 10)
+	return ""
+}
+FNR == 1 { file++ }
+file == 1 && /^    \{"name"/ {
+	line = $0
+	sub(/,$/, "", line)
+	if (entryname(line) ~ pat) {
+		# First matching base entry marks where the replacements go.
+		if (!slotted) { slot = n; entries[n++] = ""; slotted = 1 }
+		next
+	}
+	entries[n++] = line
+	next
+}
+file == 1 && /"goos"|"goarch"|"cpu"/ { meta[m++] = $0 }
+file == 2 && /^    \{"name"/ {
+	line = $0
+	sub(/,$/, "", line)
+	repl[r++] = line
+}
+END {
+	if (r == 0) {
+		print "benchmerge: no entries in new run" > "/dev/stderr"
+		exit 1
+	}
+	if (!slotted) { slot = n; entries[n++] = "" } # pattern new to base: append
+	printf "{\n"
+	for (i = 0; i < m; i++) print meta[i]
+	printf "  \"benchmarks\": [\n"
+	total = n - 1 + r
+	k = 0
+	for (i = 0; i < n; i++) {
+		if (i == slot) {
+			for (j = 0; j < r; j++)
+				printf "%s%s\n", repl[j], (++k < total ? "," : "")
+		} else
+			printf "%s%s\n", entries[i], (++k < total ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$base" "$new"
